@@ -1,0 +1,306 @@
+//! Rodinia-style level-synchronous BFS (paper Figure 3, evaluated in
+//! Figures 7–9).
+//!
+//! Each level-`L` iteration scans all vertices, expands the frontier
+//! (`level[v] == L`), and tries to *claim* every unvisited neighbor `u`.
+//! The claim guards a four-word write — `parent[u]`, `sel_edge[u]`,
+//! `visited[u]`, `level[u]` — which is exactly why the method matters:
+//!
+//! * under **naive** writes (Rodinia's original), several expanders write
+//!   `u` concurrently; `level`/`visited` are *common* writes (all agree) so
+//!   distances stay correct, but `parent[u]` and `sel_edge[u]` are
+//!   *different* values from different writers and can commit as a mixture
+//!   that names an edge `parent[u]` does not own (the paper's §4 torn-write
+//!   hazard, demonstrated in this workspace's `torn_writes` test);
+//! * under any single-winner method the four words are written by one
+//!   thread and are mutually consistent.
+//!
+//! The per-level round ID is the level itself — the paper's "round could be
+//! substituted by the loop iteration" remark — supplied here by
+//! [`pram_exec::WorkerCtx::converge_rounds`].
+
+use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
+
+use pram_core::SliceArbiter;
+use pram_exec::{Schedule, ThreadPool};
+use pram_graph::CsrGraph;
+
+use crate::method::{dispatch_method, CwMethod};
+
+/// Sentinel level for unreachable vertices.
+pub const UNREACHED: u32 = u32::MAX;
+/// Sentinel parent for the source and unreachable vertices.
+pub const NO_PARENT: u32 = u32::MAX;
+/// Sentinel edge index for the source and unreachable vertices.
+pub const NO_EDGE: usize = usize::MAX;
+
+/// Output of [`bfs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// Hop count from the source ([`UNREACHED`] if unreachable).
+    pub level: Vec<u32>,
+    /// BFS-tree parent ([`NO_PARENT`] for source/unreachable).
+    pub parent: Vec<u32>,
+    /// Index into the CSR target array of the tree edge that discovered
+    /// each vertex (the paper's `Sel_edge`; [`NO_EDGE`] for
+    /// source/unreachable).
+    pub sel_edge: Vec<usize>,
+    /// Level iterations executed (eccentricity of the source + 1).
+    pub rounds: u32,
+}
+
+/// Level-synchronous BFS from `source` under the given concurrent-write
+/// method.
+///
+/// ```
+/// use pram_algos::{bfs, CwMethod};
+/// use pram_exec::ThreadPool;
+/// use pram_graph::{CsrGraph, GraphGen};
+///
+/// let g = CsrGraph::from_edges(5, &GraphGen::path(5), true);
+/// let pool = ThreadPool::new(2);
+/// let r = bfs(&g, 0, CwMethod::CasLt, &pool);
+/// assert_eq!(r.level, vec![0, 1, 2, 3, 4]);
+/// assert_eq!(r.parent[4], 3);
+/// ```
+pub fn bfs(g: &CsrGraph, source: u32, method: CwMethod, pool: &ThreadPool) -> BfsResult {
+    dispatch_method!(method, g.num_vertices(), |arb| bfs_with_arbiter(
+        g, source, &arb, pool
+    ))
+}
+
+/// BFS against an explicit arbiter (one cell per vertex, freshly armed).
+pub fn bfs_with_arbiter<A: SliceArbiter>(
+    g: &CsrGraph,
+    source: u32,
+    arb: &A,
+    pool: &ThreadPool,
+) -> BfsResult {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    assert_eq!(arb.len(), n, "arbiter must span one cell per vertex");
+
+    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
+    let visited: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
+    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
+    let sel_edge: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(NO_EDGE)).collect();
+    level[source as usize].store(0, Ordering::Relaxed);
+    visited[source as usize].store(1, Ordering::Relaxed);
+
+    let offsets = g.offsets();
+    let targets = g.targets();
+    // Eccentricity < n, plus the final no-change round.
+    let max_rounds = n as u32 + 1;
+
+    let rounds = AtomicU32::new(0);
+    pool.run(|ctx| {
+        let c = ctx.converge_rounds(max_rounds, |round, flag| {
+            let l = round.get() - 1; // the level being expanded
+            ctx.for_each_nowait(0..n, Schedule::default(), |v| {
+                if level[v].load(Ordering::Relaxed) != l {
+                    return;
+                }
+                #[allow(clippy::needless_range_loop)] // j is the edge id recorded in sel_edge
+                for j in offsets[v]..offsets[v + 1] {
+                    let u = targets[j] as usize;
+                    if visited[u].load(Ordering::Relaxed) == 0 {
+                        // The concurrent write: claim vertex u for this
+                        // level, then perform the four-word update.
+                        if arb.try_claim(u, round) {
+                            parent[u].store(v as u32, Ordering::Relaxed);
+                            sel_edge[u].store(j, Ordering::Relaxed);
+                            visited[u].store(1, Ordering::Relaxed);
+                            level[u].store(l + 1, Ordering::Relaxed);
+                            flag.set(); // the paper's `done = false`
+                        }
+                    }
+                }
+            });
+            if arb.rearms_on_new_round() {
+                // CAS-LT / naive / lock: advancing the round re-arms every
+                // cell; just meet at the barrier converge_rounds requires.
+                ctx.barrier();
+            } else {
+                // Gatekeeper methods: the paper's Figure 3(b) lines 34–35 —
+                // a full parallel re-zeroing pass before the next round.
+                ctx.barrier();
+                ctx.for_each(0..n, Schedule::default(), |i| {
+                    arb.reset_range(i..i + 1);
+                });
+            }
+        });
+        // Every member observed the same convergence result.
+        rounds.store(c.rounds, Ordering::Relaxed);
+    });
+
+    BfsResult {
+        level: level.into_iter().map(AtomicU32::into_inner).collect(),
+        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
+        sel_edge: sel_edge.into_iter().map(AtomicUsize::into_inner).collect(),
+        rounds: rounds.into_inner(),
+    }
+}
+
+/// Check a [`BfsResult`]'s distances against the serial reference.
+///
+/// Holds for **every** method, including naive (levels are common writes).
+pub fn verify_bfs_levels(g: &CsrGraph, source: u32, r: &BfsResult) -> Result<(), String> {
+    let expect = pram_graph::serial::bfs_levels(g, source);
+    if r.level == expect {
+        Ok(())
+    } else {
+        let v = (0..expect.len())
+            .find(|&v| expect[v] != r.level[v])
+            .unwrap();
+        Err(format!(
+            "level[{v}] = {} but serial BFS says {}",
+            r.level[v], expect[v]
+        ))
+    }
+}
+
+/// Full structural verification: distances plus parent/sel_edge mutual
+/// consistency.
+///
+/// Guaranteed only for single-winner methods
+/// ([`CwMethod::single_winner`]); the naive method can fail the
+/// parent/edge cross-check, which is the paper's argument against it.
+pub fn verify_bfs_tree(g: &CsrGraph, source: u32, r: &BfsResult) -> Result<(), String> {
+    verify_bfs_levels(g, source, r)?;
+    let n = g.num_vertices();
+    for v in 0..n {
+        let (lv, p, e) = (r.level[v], r.parent[v], r.sel_edge[v]);
+        if v as u32 == source {
+            if p != NO_PARENT || e != NO_EDGE {
+                return Err(format!("source has parent {p} / edge {e}"));
+            }
+            continue;
+        }
+        if lv == UNREACHED {
+            if p != NO_PARENT || e != NO_EDGE {
+                return Err(format!("unreachable {v} has parent {p} / edge {e}"));
+            }
+            continue;
+        }
+        if p == NO_PARENT || e == NO_EDGE {
+            return Err(format!("reached {v} missing parent or edge"));
+        }
+        if r.level[p as usize] + 1 != lv {
+            return Err(format!(
+                "parent level mismatch at {v}: level[{p}] = {} vs level[{v}] = {lv}",
+                r.level[p as usize]
+            ));
+        }
+        // sel_edge must be an edge *owned by the parent* that targets v —
+        // the cross-array consistency naive writes can tear.
+        let (lo, hi) = (g.offsets()[p as usize], g.offsets()[p as usize + 1]);
+        if !(lo..hi).contains(&e) {
+            return Err(format!(
+                "sel_edge[{v}] = {e} is not an edge of parent {p} (range {lo}..{hi})"
+            ));
+        }
+        if g.targets()[e] as usize != v {
+            return Err(format!(
+                "sel_edge[{v}] = {e} targets {} instead of {v}",
+                g.targets()[e]
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram_graph::GraphGen;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+        CsrGraph::from_edges(n, edges, true)
+    }
+
+    #[test]
+    fn all_single_winner_methods_build_valid_trees() {
+        let pool = ThreadPool::new(4);
+        let cases = vec![
+            graph(5, &GraphGen::path(5)),
+            graph(7, &GraphGen::star(7)),
+            graph(6, &GraphGen::cycle(6)),
+            graph(12, &GraphGen::grid(3, 4)),
+            graph(1, &[]),
+            graph(4, &[(0, 1)]), // disconnected
+        ];
+        for g in &cases {
+            for m in CwMethod::ALL.into_iter().filter(|m| m.single_winner()) {
+                let r = bfs(g, 0, m, &pool);
+                verify_bfs_tree(g, 0, &r).unwrap_or_else(|e| panic!("{m}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_gets_levels_right() {
+        let pool = ThreadPool::new(4);
+        let mut gen = GraphGen::new(9);
+        let edges = gen.gnm(200, 800);
+        let g = graph(200, &edges);
+        let r = bfs(&g, 0, CwMethod::Naive, &pool);
+        verify_bfs_levels(&g, 0, &r).unwrap();
+    }
+
+    #[test]
+    fn random_graphs_match_serial_levels_for_all_methods() {
+        let pool = ThreadPool::new(4);
+        for seed in 0..3 {
+            let edges = GraphGen::new(seed).gnm(100, 300);
+            let g = graph(100, &edges);
+            for m in CwMethod::ALL {
+                let r = bfs(&g, 5, m, &pool);
+                verify_bfs_levels(&g, 5, &r).unwrap_or_else(|e| panic!("seed {seed} {m}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_equal_eccentricity_plus_one() {
+        let pool = ThreadPool::new(2);
+        let g = graph(6, &GraphGen::path(6));
+        let r = bfs(&g, 0, CwMethod::CasLt, &pool);
+        // Levels 0..=4 expand something; the 6th round finds no change.
+        assert_eq!(r.rounds, 6);
+    }
+
+    #[test]
+    fn isolated_source_terminates_immediately() {
+        let pool = ThreadPool::new(2);
+        let g = graph(3, &[(1, 2)]);
+        let r = bfs(&g, 0, CwMethod::CasLt, &pool);
+        assert_eq!(r.level, vec![0, UNREACHED, UNREACHED]);
+        assert_eq!(r.rounds, 1);
+    }
+
+    #[test]
+    fn sel_edge_points_to_discovering_edge() {
+        let pool = ThreadPool::new(2);
+        // Multigraph: duplicate edges mean several candidate sel_edges; any
+        // one of them is valid, and verify checks the chosen one is real.
+        let g = graph(3, &[(0, 1), (0, 1), (1, 2)]);
+        let r = bfs(&g, 0, CwMethod::CasLt, &pool);
+        verify_bfs_tree(&g, 0, &r).unwrap();
+    }
+
+    #[test]
+    fn self_loops_are_harmless() {
+        let pool = ThreadPool::new(2);
+        let g = graph(3, &[(0, 0), (0, 1), (1, 2)]);
+        let r = bfs(&g, 0, CwMethod::Gatekeeper, &pool);
+        verify_bfs_tree(&g, 0, &r).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "source out of range")]
+    fn bad_source_rejected() {
+        let pool = ThreadPool::new(1);
+        let g = graph(2, &[(0, 1)]);
+        let _ = bfs(&g, 9, CwMethod::CasLt, &pool);
+    }
+}

@@ -1,0 +1,185 @@
+//! The concurrent-write method axis every kernel is parameterized over.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Which concurrent-write implementation a kernel uses — the independent
+/// variable of every figure in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CwMethod {
+    /// Issue every write, let the memory system serialize (Rodinia's
+    /// practice). Sound only for single-word common writes; kernels that
+    /// perform multi-word writes produce *internally inconsistent* results
+    /// under this method (which the workspace's torn-write tests
+    /// demonstrate on purpose).
+    Naive,
+    /// Per-target atomic fetch-and-increment gatekeeper (the prefix-sum
+    /// method of Vishkin et al. 2008); requires a re-zeroing pass before
+    /// every round.
+    Gatekeeper,
+    /// Gatekeeper with the "skip the atomic once nonzero" mitigation the
+    /// paper mentions in §5; still requires the re-zeroing pass.
+    GatekeeperSkip,
+    /// The paper's contribution: CAS-if-Less-Than round claims, wait-free,
+    /// reset-free.
+    CasLt,
+    /// CAS-LT with one cache line per claim word — the false-sharing
+    /// ablation.
+    CasLtPadded,
+    /// Claims guarded by a per-target mutex — the critical-section
+    /// baseline the paper calls "trivial but bad".
+    Lock,
+}
+
+impl CwMethod {
+    /// All methods, in presentation order.
+    pub const ALL: [CwMethod; 6] = [
+        CwMethod::Naive,
+        CwMethod::Gatekeeper,
+        CwMethod::GatekeeperSkip,
+        CwMethod::CasLt,
+        CwMethod::CasLtPadded,
+        CwMethod::Lock,
+    ];
+
+    /// The three methods the paper's figures compare (naive, prefix-sum,
+    /// CAS-LT).
+    pub const PAPER: [CwMethod; 3] = [CwMethod::Naive, CwMethod::Gatekeeper, CwMethod::CasLt];
+
+    /// Whether this method needs the O(n) re-zeroing pass between rounds
+    /// (the paper's Figure 3(b) lines 34–35).
+    pub fn needs_reset_pass(self) -> bool {
+        matches!(self, CwMethod::Gatekeeper | CwMethod::GatekeeperSkip)
+    }
+
+    /// Whether the method elects a unique winner (everything except
+    /// [`CwMethod::Naive`]). Kernels whose writes span several words are
+    /// only *consistent* under single-winner methods.
+    pub fn single_winner(self) -> bool {
+        !matches!(self, CwMethod::Naive)
+    }
+
+    /// Short stable name (also accepted by [`CwMethod::from_str`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            CwMethod::Naive => "naive",
+            CwMethod::Gatekeeper => "gatekeeper",
+            CwMethod::GatekeeperSkip => "gatekeeper-skip",
+            CwMethod::CasLt => "caslt",
+            CwMethod::CasLtPadded => "caslt-padded",
+            CwMethod::Lock => "lock",
+        }
+    }
+}
+
+impl fmt::Display for CwMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error for unknown method names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMethod(pub String);
+
+impl fmt::Display for UnknownMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown concurrent-write method '{}'; expected one of: naive, gatekeeper, gatekeeper-skip, caslt, caslt-padded, lock",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnknownMethod {}
+
+impl FromStr for CwMethod {
+    type Err = UnknownMethod;
+    fn from_str(s: &str) -> Result<CwMethod, UnknownMethod> {
+        CwMethod::ALL
+            .into_iter()
+            .find(|m| m.name() == s)
+            .ok_or_else(|| UnknownMethod(s.to_string()))
+    }
+}
+
+/// Instantiate the arbiter for `method` over `len` targets and run `body`
+/// with it, monomorphized per arbiter type (no virtual dispatch on the
+/// claim hot path).
+macro_rules! dispatch_method {
+    ($method:expr, $len:expr, |$arb:ident| $body:expr) => {{
+        match $method {
+            $crate::method::CwMethod::Naive => {
+                let $arb = ::pram_core::NaiveArbiter::new($len);
+                $body
+            }
+            $crate::method::CwMethod::Gatekeeper => {
+                let $arb = ::pram_core::GatekeeperArray::new($len);
+                $body
+            }
+            $crate::method::CwMethod::GatekeeperSkip => {
+                let $arb = ::pram_core::GatekeeperSkipArray::new($len);
+                $body
+            }
+            $crate::method::CwMethod::CasLt => {
+                let $arb = ::pram_core::CasLtArray::new($len);
+                $body
+            }
+            $crate::method::CwMethod::CasLtPadded => {
+                let $arb = ::pram_core::PaddedCasLtArray::new($len);
+                $body
+            }
+            $crate::method::CwMethod::Lock => {
+                let $arb = ::pram_core::LockArray::new($len);
+                $body
+            }
+        }
+    }};
+}
+pub(crate) use dispatch_method;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pram_core::{Round, SliceArbiter};
+
+    #[test]
+    fn names_roundtrip() {
+        for m in CwMethod::ALL {
+            assert_eq!(m.name().parse::<CwMethod>().unwrap(), m);
+            assert_eq!(m.to_string(), m.name());
+        }
+        assert!("bogus".parse::<CwMethod>().is_err());
+        let err = "x".parse::<CwMethod>().unwrap_err();
+        assert!(err.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn reset_pass_only_for_gatekeepers() {
+        assert!(CwMethod::Gatekeeper.needs_reset_pass());
+        assert!(CwMethod::GatekeeperSkip.needs_reset_pass());
+        assert!(!CwMethod::CasLt.needs_reset_pass());
+        assert!(!CwMethod::Naive.needs_reset_pass());
+        assert!(!CwMethod::Lock.needs_reset_pass());
+    }
+
+    #[test]
+    fn single_winner_excludes_naive_only() {
+        for m in CwMethod::ALL {
+            assert_eq!(m.single_winner(), m != CwMethod::Naive);
+        }
+    }
+
+    #[test]
+    fn dispatch_instantiates_each_method() {
+        for m in CwMethod::ALL {
+            let won = dispatch_method!(m, 3, |arb| {
+                let w = arb.try_claim(1, Round::FIRST);
+                assert_eq!(arb.len(), 3);
+                w
+            });
+            assert!(won, "first claim must win under {m}");
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Parallel prefix sum (Blelloch scan) — the primitive behind the
+//! gatekeeper method's ancestry.
+//!
+//! The prefix-sum concurrent-write method the paper compares against
+//! descends from XMT's *hardware* prefix-sum unit (Vishkin et al. 2008):
+//! on that architecture, `k` threads incrementing a gatekeeper is a
+//! constant-time parallel prefix sum, and electing the writer that
+//! observed 0 is free. On a multicore there is no such unit — the
+//! `fetch_add` loop serializes — which is precisely the §6 cost the paper
+//! attacks. This module provides the *algorithmic* prefix sum a multicore
+//! can offer instead: the classic work-efficient up-sweep/down-sweep scan
+//! (EREW, work O(n), depth O(log n)), rounding out the workspace's
+//! exclusive-access kernel set and giving the bench suite a second
+//! non-arbitrated baseline workload.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pram_exec::{Schedule, ThreadPool};
+
+/// Exclusive prefix sum (wrapping): `out[i] = sum(values[..i]) mod 2⁶⁴`.
+///
+/// Work O(n), depth O(log n); all accesses are exclusive (each tree node
+/// is touched by one processor per level), so no concurrent-write
+/// arbitration is involved — by design, as the module docs explain.
+///
+/// ```
+/// use pram_algos::scan::exclusive_scan;
+/// use pram_exec::ThreadPool;
+///
+/// let pool = ThreadPool::new(2);
+/// assert_eq!(exclusive_scan(&[3, 1, 7, 0, 4], &pool), vec![0, 3, 4, 11, 11]);
+/// ```
+pub fn exclusive_scan(values: &[u64], pool: &ThreadPool) -> Vec<u64> {
+    let n = values.len();
+    if n == 0 {
+        return vec![];
+    }
+    // Work on the next power of two (padded with zeros).
+    let size = n.next_power_of_two();
+    let tree: Vec<AtomicU64> = (0..size)
+        .map(|i| AtomicU64::new(values.get(i).copied().unwrap_or(0)))
+        .collect();
+
+    pool.run(|ctx| {
+        // Up-sweep: tree[k] accumulates the sum of its block.
+        let mut stride = 1;
+        while stride < size {
+            let pairs = size / (2 * stride);
+            ctx.for_each(0..pairs, Schedule::default(), |p| {
+                let right = (2 * p + 2) * stride - 1;
+                let left = (2 * p + 1) * stride - 1;
+                let sum = tree[left]
+                    .load(Ordering::Relaxed)
+                    .wrapping_add(tree[right].load(Ordering::Relaxed));
+                tree[right].store(sum, Ordering::Relaxed);
+            });
+            stride *= 2;
+        }
+        // Clear the root, then down-sweep.
+        ctx.master(|| tree[size - 1].store(0, Ordering::Relaxed));
+        ctx.barrier();
+        let mut stride = size / 2;
+        while stride >= 1 {
+            let pairs = size / (2 * stride);
+            ctx.for_each(0..pairs, Schedule::default(), |p| {
+                let right = (2 * p + 2) * stride - 1;
+                let left = (2 * p + 1) * stride - 1;
+                let l = tree[left].load(Ordering::Relaxed);
+                let r = tree[right].load(Ordering::Relaxed);
+                tree[left].store(r, Ordering::Relaxed);
+                tree[right].store(r.wrapping_add(l), Ordering::Relaxed);
+            });
+            stride /= 2;
+        }
+    });
+
+    tree.into_iter()
+        .take(n)
+        .map(AtomicU64::into_inner)
+        .collect()
+}
+
+/// Inclusive prefix sum: `out[i] = sum(values[..=i]) mod 2⁶⁴`.
+pub fn inclusive_scan(values: &[u64], pool: &ThreadPool) -> Vec<u64> {
+    let mut out = exclusive_scan(values, pool);
+    for (o, v) in out.iter_mut().zip(values) {
+        *o = o.wrapping_add(*v);
+    }
+    out
+}
+
+/// Serial reference.
+pub fn exclusive_scan_serial(values: &[u64]) -> Vec<u64> {
+    let mut acc = 0u64;
+    values
+        .iter()
+        .map(|&v| {
+            let cur = acc;
+            acc = acc.wrapping_add(v);
+            cur
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_on_varied_sizes() {
+        let pool = ThreadPool::new(4);
+        for n in [0usize, 1, 2, 3, 4, 7, 8, 9, 63, 64, 65, 1000] {
+            let values: Vec<u64> = (0..n as u64).map(|i| (i * 13) % 29).collect();
+            assert_eq!(
+                exclusive_scan(&values, &pool),
+                exclusive_scan_serial(&values),
+                "n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn inclusive_is_exclusive_plus_self() {
+        let pool = ThreadPool::new(3);
+        let values = vec![5u64, 0, 2, 9, 1];
+        assert_eq!(inclusive_scan(&values, &pool), vec![5, 5, 7, 16, 17]);
+    }
+
+    #[test]
+    fn wrapping_behaviour_is_defined() {
+        let pool = ThreadPool::new(2);
+        let values = vec![u64::MAX, 2, u64::MAX];
+        assert_eq!(
+            exclusive_scan(&values, &pool),
+            exclusive_scan_serial(&values)
+        );
+    }
+
+    #[test]
+    fn single_thread_pool() {
+        let pool = ThreadPool::new(1);
+        let values: Vec<u64> = (0..100).collect();
+        assert_eq!(
+            exclusive_scan(&values, &pool),
+            exclusive_scan_serial(&values)
+        );
+    }
+
+    #[test]
+    fn gatekeeper_election_as_a_scan() {
+        // The XMT view: k competitors each contribute 1; the winner is the
+        // one whose exclusive prefix is 0 — exactly `canConWriteAtomic`'s
+        // "observed 0" condition, computed without any serialized RMW.
+        let pool = ThreadPool::new(4);
+        let contributions = vec![1u64; 9];
+        let prefix = exclusive_scan(&contributions, &pool);
+        let winners: Vec<usize> = prefix
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == 0)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(winners, vec![0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Criterion counterparts of the ablation suite (see
+//! `pram_bench::ablations` for the rationale of each).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pram_algos::max::max_index_with_arbiter;
+use pram_algos::{bfs, CwMethod};
+use pram_bench::make_graph;
+use pram_core::{
+    AlwaysRmwCasLtArray, CasLtArray, CasLtArray64, GatekeeperArray, LockArray, PaddedCasLtArray,
+};
+use pram_exec::ThreadPool;
+
+const THREADS: usize = 4;
+const N: usize = 1_500;
+
+fn tuned<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g
+}
+
+fn max_values(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+        .collect()
+}
+
+/// Is the pre-CAS load check the win? (paper §5 mechanism)
+fn ablate_fastpath(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let values = max_values(N);
+    let mut g = tuned(c, "ablate_fastpath");
+    g.bench_function("caslt", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &CasLtArray::new(N), &pool))
+    });
+    g.bench_function("caslt-always-rmw", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &AlwaysRmwCasLtArray::new(N), &pool))
+    });
+    g.bench_function("gatekeeper", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &GatekeeperArray::new(N), &pool))
+    });
+    g.finish();
+}
+
+/// Packed vs cache-line-padded claim words.
+fn ablate_padding(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let values = max_values(N);
+    let mut g = tuned(c, "ablate_padding");
+    g.bench_function("packed", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &CasLtArray::new(N), &pool))
+    });
+    g.bench_function("padded", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &PaddedCasLtArray::new(N), &pool))
+    });
+    g.finish();
+}
+
+/// The paper's gatekeeper-skip mitigation on BFS.
+fn ablate_gatekeeper_skip(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let graph = make_graph(4_000, 20_000, 42);
+    let mut g = tuned(c, "ablate_gatekeeper_skip");
+    for m in [
+        CwMethod::Gatekeeper,
+        CwMethod::GatekeeperSkip,
+        CwMethod::CasLt,
+    ] {
+        g.bench_function(m.to_string(), |b| b.iter(|| bfs(&graph, 0, m, &pool)));
+    }
+    g.finish();
+}
+
+/// The critical-section strawman vs CAS-LT.
+fn ablate_lock(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let values = max_values(N);
+    let mut g = tuned(c, "ablate_lock");
+    g.bench_function("lock", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &LockArray::new(N), &pool))
+    });
+    g.bench_function("caslt", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &CasLtArray::new(N), &pool))
+    });
+    g.finish();
+}
+
+/// 32-bit vs 64-bit claim words.
+fn ablate_width(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let values = max_values(N);
+    let mut g = tuned(c, "ablate_width");
+    g.bench_function("u32", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &CasLtArray::new(N), &pool))
+    });
+    g.bench_function("u64", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &CasLtArray64::new(N), &pool))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablate_fastpath,
+    ablate_padding,
+    ablate_gatekeeper_skip,
+    ablate_lock,
+    ablate_width
+);
+criterion_main!(ablations);

@@ -1,0 +1,97 @@
+//! Criterion counterparts of the extension experiments (`pram_bench::ext`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pram_algos::matching::maximal_matching;
+use pram_algos::reduce::max_index_tournament;
+use pram_algos::{list_rank, max_index, CwMethod};
+use pram_bench::make_graph;
+use pram_exec::ThreadPool;
+
+const THREADS: usize = 4;
+
+fn tuned<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g
+}
+
+fn max_values(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+        .collect()
+}
+
+/// O(1)-depth CRCW max vs O(log n)-depth EREW tournament (the §8
+/// future-work comparison); the crossover should be visible across sizes.
+fn ext_crew_vs_crcw(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let mut g = tuned(c, "ext_crew_vs_crcw");
+    for n in [64usize, 512, 2_048] {
+        let values = max_values(n);
+        g.bench_with_input(BenchmarkId::new("crcw-caslt", n), &n, |b, _| {
+            b.iter(|| max_index(&values, CwMethod::CasLt, &pool));
+        });
+        g.bench_with_input(BenchmarkId::new("erew-tournament", n), &n, |b, _| {
+            b.iter(|| max_index_tournament(&values, &pool));
+        });
+    }
+    g.finish();
+}
+
+/// CREW pointer-jumping list ranking.
+fn ext_list_rank(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let mut g = tuned(c, "ext_list_rank");
+    for n in [4_000usize, 16_000] {
+        let (next, _) = pram_algos::list_rank::random_list(n, 42);
+        g.bench_with_input(BenchmarkId::new("pointer-jumping", n), &n, |b, _| {
+            b.iter(|| list_rank(&next, &pool));
+        });
+    }
+    g.finish();
+}
+
+/// Maximal matching (two-cell arbitrary CW) across methods.
+fn ext_matching(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let graph = make_graph(4_000, 20_000, 42);
+    let mut g = tuned(c, "ext_matching");
+    for m in [CwMethod::Gatekeeper, CwMethod::Lock, CwMethod::CasLt] {
+        g.bench_function(m.to_string(), |b| {
+            b.iter(|| maximal_matching(&graph, m, &pool));
+        });
+    }
+    g.finish();
+}
+
+/// Bitmap vs word gatekeeper vs CAS-LT on the Max kernel.
+fn ablate_bitmap(c: &mut Criterion) {
+    use pram_algos::max::max_index_with_arbiter;
+    let pool = ThreadPool::new(THREADS);
+    let n = 1_500;
+    let values = max_values(n);
+    let mut g = tuned(c, "ablate_bitmap");
+    g.bench_function("gatekeeper-u32", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &pram_core::GatekeeperArray::new(n), &pool))
+    });
+    g.bench_function("gatekeeper-bitmap", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &pram_core::BitGatekeeperArray::new(n), &pool))
+    });
+    g.bench_function("caslt", |b| {
+        b.iter(|| max_index_with_arbiter(&values, &pram_core::CasLtArray::new(n), &pool))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    extensions,
+    ext_crew_vs_crcw,
+    ext_list_rank,
+    ext_matching,
+    ablate_bitmap
+);
+criterion_main!(extensions);

@@ -1,0 +1,164 @@
+//! Criterion counterparts of the paper's Figures 5–12 — one group per
+//! figure, at reduced sizes (Criterion repeats each point many times; the
+//! `figures` binary regenerates the full sweeps).
+//!
+//! Group names map to figures: `fig05_max_size` ↔ Figure 5, …,
+//! `fig12_cc_threads` ↔ Figure 12.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pram_algos::{bfs, connected_components, max_index, CwMethod};
+use pram_bench::make_graph;
+use pram_exec::ThreadPool;
+
+const THREADS: usize = 4;
+
+fn tuned<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g
+}
+
+fn max_values(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+        .collect()
+}
+
+/// Figure 5: Max, time vs list size (fixed threads).
+fn fig05_max_size(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let mut g = tuned(c, "fig05_max_size");
+    for n in [500usize, 1_000, 2_000] {
+        let values = max_values(n);
+        for m in CwMethod::PAPER {
+            g.bench_with_input(BenchmarkId::new(m.to_string(), n), &n, |b, _| {
+                b.iter(|| max_index(&values, m, &pool));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 6: Max, time vs threads (fixed size).
+fn fig06_max_threads(c: &mut Criterion) {
+    let values = max_values(1_500);
+    let mut g = tuned(c, "fig06_max_threads");
+    for t in [1usize, 2, 4] {
+        let pool = ThreadPool::new(t);
+        for m in CwMethod::PAPER {
+            g.bench_with_input(BenchmarkId::new(m.to_string(), t), &t, |b, _| {
+                b.iter(|| max_index(&values, m, &pool));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 7: BFS, time vs edges (fixed vertices).
+fn fig07_bfs_edges(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let mut g = tuned(c, "fig07_bfs_edges");
+    for e in [10_000usize, 20_000, 40_000] {
+        let graph = make_graph(4_000, e, 42);
+        for m in CwMethod::PAPER {
+            g.bench_with_input(BenchmarkId::new(m.to_string(), e), &e, |b, _| {
+                b.iter(|| bfs(&graph, 0, m, &pool));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 8: BFS, time vs vertices (fixed edges).
+fn fig08_bfs_verts(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let mut g = tuned(c, "fig08_bfs_verts");
+    for v in [2_000usize, 4_000, 8_000] {
+        let graph = make_graph(v, 20_000, 42);
+        for m in CwMethod::PAPER {
+            g.bench_with_input(BenchmarkId::new(m.to_string(), v), &v, |b, _| {
+                b.iter(|| bfs(&graph, 0, m, &pool));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 9: BFS, time vs threads (fixed graph).
+fn fig09_bfs_threads(c: &mut Criterion) {
+    let graph = make_graph(4_000, 20_000, 42);
+    let mut g = tuned(c, "fig09_bfs_threads");
+    for t in [1usize, 2, 4] {
+        let pool = ThreadPool::new(t);
+        for m in CwMethod::PAPER {
+            g.bench_with_input(BenchmarkId::new(m.to_string(), t), &t, |b, _| {
+                b.iter(|| bfs(&graph, 0, m, &pool));
+            });
+        }
+    }
+    g.finish();
+}
+
+const CC_METHODS: [CwMethod; 2] = [CwMethod::Gatekeeper, CwMethod::CasLt];
+
+/// Figure 10: CC, time vs edges (fixed vertices).
+fn fig10_cc_edges(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let mut g = tuned(c, "fig10_cc_edges");
+    for e in [4_000usize, 8_000, 16_000] {
+        let graph = make_graph(2_000, e, 42);
+        for m in CC_METHODS {
+            g.bench_with_input(BenchmarkId::new(m.to_string(), e), &e, |b, _| {
+                b.iter(|| connected_components(&graph, m, &pool));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 11: CC, time vs vertices (fixed edges).
+fn fig11_cc_verts(c: &mut Criterion) {
+    let pool = ThreadPool::new(THREADS);
+    let mut g = tuned(c, "fig11_cc_verts");
+    for v in [1_000usize, 2_000, 4_000] {
+        let graph = make_graph(v, 8_000, 42);
+        for m in CC_METHODS {
+            g.bench_with_input(BenchmarkId::new(m.to_string(), v), &v, |b, _| {
+                b.iter(|| connected_components(&graph, m, &pool));
+            });
+        }
+    }
+    g.finish();
+}
+
+/// Figure 12: CC, time vs threads (fixed graph).
+fn fig12_cc_threads(c: &mut Criterion) {
+    let graph = make_graph(2_000, 8_000, 42);
+    let mut g = tuned(c, "fig12_cc_threads");
+    for t in [1usize, 2, 4] {
+        let pool = ThreadPool::new(t);
+        for m in CC_METHODS {
+            g.bench_with_input(BenchmarkId::new(m.to_string(), t), &t, |b, _| {
+                b.iter(|| connected_components(&graph, m, &pool));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig05_max_size,
+    fig06_max_threads,
+    fig07_bfs_edges,
+    fig08_bfs_verts,
+    fig09_bfs_threads,
+    fig10_cc_edges,
+    fig11_cc_verts,
+    fig12_cc_threads
+);
+criterion_main!(figures);

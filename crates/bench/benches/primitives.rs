@@ -1,0 +1,100 @@
+//! Microbenchmarks of the arbitration primitives themselves — the per-claim
+//! costs that §6's asymptotic argument is built from.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pram_core::{
+    CasLtCell, GatekeeperCell, GatekeeperSkipCell, LockCell, PriorityCell, Round, RoundCounter,
+};
+
+fn tuned<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    g
+}
+
+/// The losing claim — the operation each method executes millions of times
+/// in the Max kernel after a winner exists. CAS-LT's is one relaxed load;
+/// the gatekeeper's is a full RMW.
+fn losing_claim(c: &mut Criterion) {
+    let mut g = tuned(c, "losing_claim");
+    let round = Round::FIRST;
+
+    let cell = CasLtCell::new();
+    cell.try_claim(round);
+    g.bench_function("caslt_fast_path", |b| {
+        b.iter(|| std::hint::black_box(cell.try_claim(round)))
+    });
+
+    let cell = GatekeeperCell::new();
+    cell.try_claim_once();
+    g.bench_function("gatekeeper_rmw", |b| {
+        b.iter(|| std::hint::black_box(cell.try_claim_once()))
+    });
+
+    let cell = GatekeeperSkipCell::new();
+    cell.try_claim_once();
+    g.bench_function("gatekeeper_skip_load", |b| {
+        b.iter(|| std::hint::black_box(cell.try_claim_once()))
+    });
+
+    let cell = LockCell::new();
+    cell.try_claim(round);
+    g.bench_function("lock", |b| {
+        b.iter(|| std::hint::black_box(cell.try_claim(round)))
+    });
+    g.finish();
+}
+
+/// The winning claim: fresh round every iteration, so the CAS executes.
+fn winning_claim(c: &mut Criterion) {
+    let mut g = tuned(c, "winning_claim");
+
+    let cell = CasLtCell::new();
+    let mut rounds = RoundCounter::new();
+    g.bench_function("caslt_cas", |b| {
+        b.iter(|| {
+            let r = rounds.next_round_or_reset(|| {});
+            std::hint::black_box(cell.try_claim(r))
+        })
+    });
+
+    let cell = LockCell::new();
+    let mut rounds = RoundCounter::new();
+    g.bench_function("lock", |b| {
+        b.iter(|| {
+            let r = rounds.next_round_or_reset(|| {});
+            std::hint::black_box(cell.try_claim(r))
+        })
+    });
+
+    let cell = PriorityCell::new();
+    let mut rounds = RoundCounter::new();
+    g.bench_function("priority_offer", |b| {
+        b.iter(|| {
+            let r = rounds.next_round_or_reset(|| {});
+            std::hint::black_box(cell.offer(r, 1))
+        })
+    });
+    g.finish();
+}
+
+/// What the gatekeeper pays that CAS-LT does not: re-arming 64K cells
+/// (the per-round reset pass) vs bumping a round counter.
+fn rearm_cost(c: &mut Criterion) {
+    use pram_core::{GatekeeperArray, SliceArbiter};
+    let mut g = tuned(c, "rearm_64k_cells");
+    let gate = GatekeeperArray::new(65_536);
+    g.bench_function("gatekeeper_reset_pass", |b| b.iter(|| gate.reset_all()));
+    let mut rounds = RoundCounter::new();
+    g.bench_function("caslt_round_bump", |b| {
+        b.iter(|| std::hint::black_box(rounds.next_round_or_reset(|| {})))
+    });
+    g.finish();
+}
+
+criterion_group!(primitives, losing_claim, winning_claim, rearm_cost);
+criterion_main!(primitives);

@@ -1,0 +1,318 @@
+//! Ablation experiments for the design choices DESIGN.md calls out —
+//! beyond the paper's figures, these isolate *why* CAS-LT wins.
+
+use pram_algos::bfs::bfs_with_arbiter;
+use pram_algos::cc::cc_with_arbiter;
+use pram_algos::max::max_index_with_arbiter;
+use pram_algos::{bfs, CwMethod};
+use pram_core::{
+    AlwaysRmwCasLtArray, CasLtArray, CasLtArray64, CountingArbiter, GatekeeperArray, LockArray,
+    PaddedCasLtArray,
+};
+
+use crate::{make_graph, ms, pool, time_median, BenchConfig, FigureResult, ScaleProfile, Series};
+
+fn max_values(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+        .collect()
+}
+
+fn scale_n(cfg: &BenchConfig) -> usize {
+    match cfg.scale {
+        ScaleProfile::Quick => 800,
+        ScaleProfile::Default => 4_000,
+        ScaleProfile::Paper => 30_000,
+    }
+}
+
+/// A named timed variant within a single-point ablation.
+type Variant<'a> = (&'a str, Box<dyn FnMut() + 'a>);
+
+/// Time one closure per variant at a single operating point.
+fn single_point(id: &str, title: &str, cfg: &BenchConfig, variants: Vec<Variant<'_>>) -> FigureResult {
+    let series = variants
+        .into_iter()
+        .map(|(name, mut f)| Series {
+            name: name.into(),
+            points: vec![(1.0, ms(time_median(cfg.reps, &mut f)))],
+        })
+        .collect();
+    FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_label: "point".into(),
+        series,
+    }
+}
+
+/// `ablate_fastpath` — is the pre-CAS load check the win? Max kernel with
+/// the full CAS-LT claim vs a variant whose every claim issues an RMW
+/// (`fetch_max`) vs the gatekeeper. If the paper's §5 mechanism is right,
+/// full CAS-LT ≪ always-RMW ≈ gatekeeper.
+pub fn ablate_fastpath(cfg: &BenchConfig) -> FigureResult {
+    let n = scale_n(cfg);
+    let values = max_values(n);
+    let p = pool(cfg.threads);
+    let v1 = values.clone();
+    let v2 = values.clone();
+    let v3 = values;
+    let p1 = pool(cfg.threads);
+    let p2 = pool(cfg.threads);
+    single_point(
+        "ablate_fastpath",
+        &format!("max (n = {n}): CAS-LT fast path on/off vs gatekeeper"),
+        cfg,
+        vec![
+            (
+                "gatekeeper",
+                Box::new(move || {
+                    let arb = GatekeeperArray::new(v1.len());
+                    max_index_with_arbiter(&v1, &arb, &p);
+                }),
+            ),
+            (
+                "caslt-always-rmw",
+                Box::new(move || {
+                    let arb = AlwaysRmwCasLtArray::new(v2.len());
+                    max_index_with_arbiter(&v2, &arb, &p1);
+                }),
+            ),
+            (
+                "caslt",
+                Box::new(move || {
+                    let arb = CasLtArray::new(v3.len());
+                    max_index_with_arbiter(&v3, &arb, &p2);
+                }),
+            ),
+        ],
+    )
+}
+
+/// `ablate_padding` — packed vs cache-line-padded claim words on the Max
+/// kernel (dense targets: padding hurts reach) — the layout choice
+/// [`pram_core::PaddedCasLtArray`] documents.
+pub fn ablate_padding(cfg: &BenchConfig) -> FigureResult {
+    let n = scale_n(cfg);
+    let values = max_values(n);
+    let v1 = values.clone();
+    let v2 = values;
+    let p1 = pool(cfg.threads);
+    let p2 = pool(cfg.threads);
+    single_point(
+        "ablate_padding",
+        &format!("max (n = {n}): packed vs cache-line-padded claim words"),
+        cfg,
+        vec![
+            (
+                "caslt-packed",
+                Box::new(move || {
+                    let arb = CasLtArray::new(v1.len());
+                    max_index_with_arbiter(&v1, &arb, &p1);
+                }),
+            ),
+            (
+                "caslt-padded",
+                Box::new(move || {
+                    let arb = PaddedCasLtArray::new(v2.len());
+                    max_index_with_arbiter(&v2, &arb, &p2);
+                }),
+            ),
+        ],
+    )
+}
+
+/// `ablate_gatekeeper_skip` — the paper's §5 mitigation: does a load-first
+/// gatekeeper close the gap to CAS-LT on BFS? (It removes the serialized
+/// RMWs but keeps the per-round reset pass.)
+pub fn ablate_gatekeeper_skip(cfg: &BenchConfig) -> FigureResult {
+    let (v, e) = match cfg.scale {
+        ScaleProfile::Quick => (2_000, 8_000),
+        ScaleProfile::Default => (20_000, 150_000),
+        ScaleProfile::Paper => (100_000, 10_000_000),
+    };
+    let g = make_graph(v, e, cfg.seed);
+    let p = pool(cfg.threads);
+    let series = [
+        CwMethod::Gatekeeper,
+        CwMethod::GatekeeperSkip,
+        CwMethod::CasLt,
+    ]
+    .iter()
+    .map(|&m| Series {
+        name: m.to_string(),
+        points: vec![(
+            1.0,
+            ms(time_median(cfg.reps, || {
+                bfs(&g, 0, m, &p);
+            })),
+        )],
+    })
+    .collect();
+    FigureResult {
+        id: "ablate_gatekeeper_skip".into(),
+        title: format!("BFS ({v} vertices, {e} edges): gatekeeper skip mitigation"),
+        x_label: "point".into(),
+        series,
+    }
+}
+
+/// `ablate_lock` — the critical-section strawman (§4's "trivial but bad
+/// solution") against CAS-LT on the Max kernel.
+pub fn ablate_lock(cfg: &BenchConfig) -> FigureResult {
+    let n = scale_n(cfg);
+    let values = max_values(n);
+    let v1 = values.clone();
+    let v2 = values;
+    let p1 = pool(cfg.threads);
+    let p2 = pool(cfg.threads);
+    single_point(
+        "ablate_lock",
+        &format!("max (n = {n}): per-cell mutex vs CAS-LT"),
+        cfg,
+        vec![
+            (
+                "lock",
+                Box::new(move || {
+                    let arb = LockArray::new(v1.len());
+                    max_index_with_arbiter(&v1, &arb, &p1);
+                }),
+            ),
+            (
+                "caslt",
+                Box::new(move || {
+                    let arb = CasLtArray::new(v2.len());
+                    max_index_with_arbiter(&v2, &arb, &p2);
+                }),
+            ),
+        ],
+    )
+}
+
+/// `ablate_width` — 32-bit vs 64-bit claim words (half the cache reach vs
+/// an inexhaustible round space).
+pub fn ablate_width(cfg: &BenchConfig) -> FigureResult {
+    let n = scale_n(cfg);
+    let values = max_values(n);
+    let v1 = values.clone();
+    let v2 = values;
+    let p1 = pool(cfg.threads);
+    let p2 = pool(cfg.threads);
+    single_point(
+        "ablate_width",
+        &format!("max (n = {n}): u32 vs u64 claim words"),
+        cfg,
+        vec![
+            (
+                "caslt-u32",
+                Box::new(move || {
+                    let arb = CasLtArray::new(v1.len());
+                    max_index_with_arbiter(&v1, &arb, &p1);
+                }),
+            ),
+            (
+                "caslt-u64",
+                Box::new(move || {
+                    let arb = CasLtArray64::new(v2.len());
+                    max_index_with_arbiter(&v2, &arb, &p2);
+                }),
+            ),
+        ],
+    )
+}
+
+/// A profiling report (not a timing): claim-level statistics of each
+/// kernel under CAS-LT, making the §6 mechanism measurable — attempts vs
+/// winning writes, i.e. how much work arbitration filters out.
+pub fn claim_statistics(cfg: &BenchConfig) -> String {
+    use std::fmt::Write;
+    let p = pool(cfg.threads);
+    let mut out = String::from("== claim statistics under CAS-LT (CountingArbiter) ==\n");
+
+    let n = scale_n(cfg);
+    let values = max_values(n);
+    let arb = CountingArbiter::new(CasLtArray::new(n));
+    max_index_with_arbiter(&values, &arb, &p);
+    let s = arb.stats().snapshot();
+    let _ = writeln!(
+        out,
+        "max (n = {n}): attempts = {}, wins = {} ({:.4}% of claims commit)",
+        s.attempts,
+        s.wins,
+        100.0 * s.wins as f64 / s.attempts.max(1) as f64
+    );
+
+    let (v, e) = match cfg.scale {
+        ScaleProfile::Quick => (2_000, 8_000),
+        _ => (10_000, 80_000),
+    };
+    let g = make_graph(v, e, cfg.seed);
+    let arb = CountingArbiter::new(CasLtArray::new(v));
+    bfs_with_arbiter(&g, 0, &arb, &p);
+    let s = arb.stats().snapshot();
+    let _ = writeln!(
+        out,
+        "bfs ({v} v, {e} e): attempts = {}, wins = {} (claim multiplicity {:.2})",
+        s.attempts,
+        s.wins,
+        s.attempts as f64 / s.wins.max(1) as f64
+    );
+
+    let arb = CountingArbiter::new(CasLtArray::new(v));
+    cc_with_arbiter(&g, &arb, &p);
+    let s = arb.stats().snapshot();
+    let _ = writeln!(
+        out,
+        "cc  ({v} v, {e} e): attempts = {}, wins = {} (claim multiplicity {:.2})",
+        s.attempts,
+        s.wins,
+        s.attempts as f64 / s.wins.max(1) as f64
+    );
+    out
+}
+
+/// All ablations in order.
+pub fn all(cfg: &BenchConfig) -> Vec<FigureResult> {
+    vec![
+        ablate_fastpath(cfg),
+        ablate_padding(cfg),
+        ablate_gatekeeper_skip(cfg),
+        ablate_lock(cfg),
+        ablate_width(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> BenchConfig {
+        BenchConfig {
+            scale: ScaleProfile::Quick,
+            threads: 2,
+            reps: 1,
+            ..BenchConfig::default()
+        }
+    }
+
+    #[test]
+    fn ablations_regenerate_at_quick_scale() {
+        let cfg = quick_cfg();
+        for fig in all(&cfg) {
+            assert!(fig.series.len() >= 2, "{}", fig.id);
+            for s in &fig.series {
+                assert_eq!(s.points.len(), 1);
+                assert!(s.points[0].1 > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn claim_statistics_report_is_complete() {
+        let cfg = quick_cfg();
+        let report = claim_statistics(&cfg);
+        assert!(report.contains("max (n = 800)"));
+        assert!(report.contains("bfs"));
+        assert!(report.contains("cc "));
+    }
+}

@@ -1,0 +1,124 @@
+//! Regenerate the paper's evaluation figures (and this workspace's
+//! ablations) as tables + CSV files.
+//!
+//! ```text
+//! Usage: figures [OPTIONS] <TARGET>...
+//!
+//! Targets:
+//!   fig5 .. fig12   one figure (paper §7, Figures 5–12)
+//!   figures         all eight figures
+//!   ablations       the design-choice ablation suite
+//!   extensions      future-work extension experiments (§8)
+//!   stats           claim-level statistics report (profiling, untimed)
+//!   all             everything above
+//!
+//! Options:
+//!   --paper-scale   the paper's published workload sizes (hours on a laptop)
+//!   --quick         smoke-test sizes
+//!   --threads <T>   team size for fixed-thread figures   [default: 4]
+//!   --reps <R>      repetitions per point (median kept)  [default: 3]
+//!   --seed <S>      workload seed                        [default: 42]
+//!   --out <DIR>     CSV output directory                 [default: results]
+//! ```
+
+use std::process::ExitCode;
+
+use pram_bench::{ablations, ext, figures, BenchConfig, ScaleProfile};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "Usage: figures [--paper-scale|--quick] [--threads T] [--reps R] \
+         [--seed S] [--out DIR] <fig5..fig12|figures|ablations|extensions|stats|all>..."
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut cfg = BenchConfig::default();
+    let mut targets: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--paper-scale" => cfg.scale = ScaleProfile::Paper,
+            "--quick" => cfg.scale = ScaleProfile::Quick,
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(t) if t >= 1 => cfg.threads = t,
+                _ => return usage(),
+            },
+            "--reps" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(r) if r >= 1 => cfg.reps = r,
+                _ => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => cfg.seed = s,
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(d) => cfg.out_dir = d.into(),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            t if !t.starts_with('-') => targets.push(t.to_string()),
+            _ => return usage(),
+        }
+    }
+    if targets.is_empty() {
+        return usage();
+    }
+
+    println!(
+        "# scale = {:?}, threads = {}, reps = {}, seed = {}, out = {}",
+        cfg.scale,
+        cfg.threads,
+        cfg.reps,
+        cfg.seed,
+        cfg.out_dir.display()
+    );
+    println!(
+        "# host parallelism: {} (paper: 32 threads on 2x16-core x86)\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+
+    let mut results = Vec::new();
+    for t in &targets {
+        match t.as_str() {
+            "figures" => results.extend(figures::all(&cfg)),
+            "ablations" => results.extend(ablations::all(&cfg)),
+            "extensions" => results.extend(ext::all(&cfg)),
+            "stats" => println!("{}", ablations::claim_statistics(&cfg)),
+            "all" => {
+                results.extend(figures::all(&cfg));
+                results.extend(ablations::all(&cfg));
+                results.extend(ext::all(&cfg));
+                println!("{}", ablations::claim_statistics(&cfg));
+            }
+            id => match figures::by_id(id, &cfg) {
+                Some(fig) => results.push(fig),
+                None => {
+                    eprintln!("unknown target '{id}'");
+                    return usage();
+                }
+            },
+        }
+    }
+
+    for fig in &results {
+        println!("{}", fig.table());
+        if fig.series.len() >= 2 {
+            let base = &fig.series[0].name;
+            let ours = &fig.series.last().unwrap().name;
+            if let Some(g) = fig.geomean_speedup(base, ours) {
+                println!("geomean speedup {ours} vs {base}: {g:.2}x\n");
+            }
+        }
+        match fig.write_csv(&cfg.out_dir) {
+            Ok(p) => println!("wrote {}\n", p.display()),
+            Err(e) => eprintln!("csv write failed for {}: {e}", fig.id),
+        }
+    }
+    ExitCode::SUCCESS
+}

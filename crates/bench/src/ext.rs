@@ -1,0 +1,206 @@
+//! Extension experiments beyond the paper's figures — the future-work
+//! directions §8 proposes, made measurable.
+
+use pram_algos::matching::maximal_matching;
+use pram_algos::max::max_index_with_arbiter;
+use pram_algos::reduce::max_index_tournament;
+use pram_algos::{list_rank, max_index, CwMethod};
+use pram_core::BitGatekeeperArray;
+
+use crate::{ms, pool, time_median, BenchConfig, FigureResult, ScaleProfile, Series};
+
+fn max_values(n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17))
+        .collect()
+}
+
+/// `ext_crew_vs_crcw` — the paper's §8 proposal: an exclusive-write
+/// algorithm in current use (EREW tournament maximum: depth O(log n),
+/// work O(n)) against the CRCW algorithm with better depth (constant-time
+/// maximum: depth O(1), work O(n²), CAS-LT writes).
+///
+/// Brent's theorem predicts a crossover: with `P_phys` processors the
+/// CRCW kernel costs ~n²/P while the tournament costs ~n/P + log n, so the
+/// tournament must win beyond some n. The sweep locates it empirically.
+pub fn ext_crew_vs_crcw(cfg: &BenchConfig) -> FigureResult {
+    let sizes: Vec<usize> = match cfg.scale {
+        ScaleProfile::Quick => vec![64, 256, 1_024],
+        ScaleProfile::Default => vec![64, 256, 1_024, 4_096, 16_384],
+        ScaleProfile::Paper => vec![256, 1_024, 4_096, 16_384, 65_536],
+    };
+    let p = pool(cfg.threads);
+    let mut crcw = Series {
+        name: "crcw-max-caslt".into(),
+        points: vec![],
+    };
+    let mut erew = Series {
+        name: "erew-tournament".into(),
+        points: vec![],
+    };
+    for &n in &sizes {
+        let values = max_values(n);
+        let t = time_median(cfg.reps, || {
+            max_index(&values, CwMethod::CasLt, &p);
+        });
+        crcw.points.push((n as f64, ms(t)));
+        let t = time_median(cfg.reps, || {
+            max_index_tournament(&values, &p);
+        });
+        erew.points.push((n as f64, ms(t)));
+    }
+    FigureResult {
+        id: "ext_crew_vs_crcw".into(),
+        title: format!(
+            "maximum: O(1)-depth CRCW vs O(log n)-depth EREW ({} threads)",
+            cfg.threads
+        ),
+        x_label: "list size".into(),
+        series: vec![crcw, erew],
+    }
+}
+
+/// `ext_list_rank` — CREW pointer jumping across list sizes: the second
+/// exclusive-access comparator, exercising the lock-step substrate with no
+/// write arbitration at all (its cost is pure barrier + memory traffic).
+pub fn ext_list_rank(cfg: &BenchConfig) -> FigureResult {
+    let sizes: Vec<usize> = match cfg.scale {
+        ScaleProfile::Quick => vec![1_000, 4_000],
+        ScaleProfile::Default => vec![10_000, 40_000, 160_000],
+        ScaleProfile::Paper => vec![100_000, 400_000, 1_600_000],
+    };
+    let p = pool(cfg.threads);
+    let mut series = Series {
+        name: "pointer-jumping".into(),
+        points: vec![],
+    };
+    for &n in &sizes {
+        let (next, _head) = pram_algos::list_rank::random_list(n, cfg.seed);
+        let t = time_median(cfg.reps, || {
+            list_rank(&next, &p);
+        });
+        series.points.push((n as f64, ms(t)));
+    }
+    FigureResult {
+        id: "ext_list_rank".into(),
+        title: format!("CREW list ranking ({} threads)", cfg.threads),
+        x_label: "list size".into(),
+        series: vec![series],
+    }
+}
+
+/// `ext_matching` — maximal matching (two-cell arbitrary CW) across
+/// methods: how much the reset-free re-arming matters when *every round*
+/// needs fresh claims on all n vertices.
+pub fn ext_matching(cfg: &BenchConfig) -> FigureResult {
+    let (v, e) = match cfg.scale {
+        ScaleProfile::Quick => (1_000, 4_000),
+        ScaleProfile::Default => (10_000, 50_000),
+        ScaleProfile::Paper => (100_000, 3_000_000),
+    };
+    let g = crate::make_graph(v, e, cfg.seed);
+    let p = pool(cfg.threads);
+    let series = [CwMethod::Gatekeeper, CwMethod::Lock, CwMethod::CasLt]
+        .iter()
+        .map(|&m| Series {
+            name: m.to_string(),
+            points: vec![(
+                1.0,
+                ms(time_median(cfg.reps, || {
+                    maximal_matching(&g, m, &p);
+                })),
+            )],
+        })
+        .collect();
+    FigureResult {
+        id: "ext_matching".into(),
+        title: format!("maximal matching ({v} vertices, {e} edges)"),
+        x_label: "point".into(),
+        series,
+    }
+}
+
+/// `ablate_bitmap` — gatekeeper at 1 bit/target (`fetch_or` into shared
+/// words) vs 32 bits/target vs CAS-LT on the Max kernel: auxiliary-memory
+/// compactness against same-word RMW contention.
+pub fn ablate_bitmap(cfg: &BenchConfig) -> FigureResult {
+    let n = match cfg.scale {
+        ScaleProfile::Quick => 800,
+        ScaleProfile::Default => 4_000,
+        ScaleProfile::Paper => 30_000,
+    };
+    let values = max_values(n);
+    let p1 = pool(cfg.threads);
+    let p2 = pool(cfg.threads);
+    let p3 = pool(cfg.threads);
+    let series = vec![
+        Series {
+            name: "gatekeeper-u32".into(),
+            points: vec![(
+                1.0,
+                ms(time_median(cfg.reps, || {
+                    let arb = pram_core::GatekeeperArray::new(n);
+                    max_index_with_arbiter(&values, &arb, &p1);
+                })),
+            )],
+        },
+        Series {
+            name: "gatekeeper-bitmap".into(),
+            points: vec![(
+                1.0,
+                ms(time_median(cfg.reps, || {
+                    let arb = BitGatekeeperArray::new(n);
+                    max_index_with_arbiter(&values, &arb, &p2);
+                })),
+            )],
+        },
+        Series {
+            name: "caslt".into(),
+            points: vec![(
+                1.0,
+                ms(time_median(cfg.reps, || {
+                    let arb = pram_core::CasLtArray::new(n);
+                    max_index_with_arbiter(&values, &arb, &p3);
+                })),
+            )],
+        },
+    ];
+    FigureResult {
+        id: "ablate_bitmap".into(),
+        title: format!("max (n = {n}): bitmap vs word gatekeeper vs CAS-LT"),
+        x_label: "point".into(),
+        series,
+    }
+}
+
+/// All extension experiments.
+pub fn all(cfg: &BenchConfig) -> Vec<FigureResult> {
+    vec![
+        ext_crew_vs_crcw(cfg),
+        ext_list_rank(cfg),
+        ext_matching(cfg),
+        ablate_bitmap(cfg),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extensions_regenerate_at_quick_scale() {
+        let cfg = BenchConfig {
+            scale: ScaleProfile::Quick,
+            threads: 2,
+            reps: 1,
+            ..BenchConfig::default()
+        };
+        for fig in all(&cfg) {
+            assert!(!fig.series.is_empty(), "{}", fig.id);
+            for s in &fig.series {
+                assert!(!s.points.is_empty());
+                assert!(s.points.iter().all(|&(_, t)| t > 0.0));
+            }
+        }
+    }
+}

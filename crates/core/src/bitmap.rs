@@ -1,0 +1,191 @@
+//! Bitmap gatekeeper — a memory-compact prior-practice variant for the
+//! ablation study.
+//!
+//! The gatekeeper method spends one 32-bit counter per target even though
+//! it only ever distinguishes zero from nonzero. Packing targets into a
+//! bitmap (one bit each, claimed via `fetch_or`) cuts the auxiliary memory
+//! 32× and makes the reset pass proportionally cheaper — but now **64
+//! unrelated targets share one atomic word**, so claims to *different*
+//! targets contend on the same cache line and the same RMW destination.
+//! The `ablate_bitmap` bench quantifies the trade; the paper's CAS-LT
+//! sidesteps it entirely (per-target words, atomics skipped after the
+//! winner).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::round::Round;
+use crate::traits::SliceArbiter;
+
+/// One-bit-per-target gatekeeper over packed `AtomicU64` words.
+///
+/// Round-free like [`crate::GatekeeperArray`]: requires a reset pass
+/// before every concurrent-write round.
+#[derive(Debug)]
+pub struct BitGatekeeperArray {
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl BitGatekeeperArray {
+    /// `len` armed (clear) targets.
+    pub fn new(len: usize) -> BitGatekeeperArray {
+        let n_words = len.div_ceil(64);
+        let mut v = Vec::with_capacity(n_words);
+        v.resize_with(n_words, || AtomicU64::new(0));
+        BitGatekeeperArray {
+            words: v.into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Number of targets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if there are no targets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Claim target `index`: set its bit; win iff it was clear.
+    #[inline]
+    pub fn try_claim_once(&self, index: usize) -> bool {
+        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        let bit = 1u64 << (index % 64);
+        let prev = self.words[index / 64].fetch_or(bit, Ordering::AcqRel);
+        prev & bit == 0
+    }
+
+    /// Auxiliary memory in bytes (for the ablation's space accounting).
+    pub fn aux_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+impl SliceArbiter for BitGatekeeperArray {
+    fn len(&self) -> usize {
+        self.len
+    }
+    #[inline]
+    fn try_claim(&self, index: usize, _round: Round) -> bool {
+        self.try_claim_once(index)
+    }
+    fn reset_all(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+    fn reset_range(&self, range: Range<usize>) {
+        // Word-granular: a range reset may only be used when the range is
+        // word-aligned or the adjacent targets are quiescent — the kernels
+        // here always reset between rounds, where everything is quiescent,
+        // so clearing whole covering words (and re-claiming nothing) is
+        // exact as long as concurrent ranges touch disjoint words. To stay
+        // safe for *any* disjoint index ranges, clear bits individually.
+        for i in range {
+            let bit = 1u64 << (i % 64);
+            self.words[i / 64].fetch_and(!bit, Ordering::Relaxed);
+        }
+    }
+    fn rearms_on_new_round(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn first_claim_wins_rest_lose() {
+        let b = BitGatekeeperArray::new(100);
+        assert!(b.try_claim_once(63));
+        assert!(!b.try_claim_once(63));
+        assert!(b.try_claim_once(64)); // next word, independent
+        assert!(b.try_claim_once(0));
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.aux_bytes(), 16);
+    }
+
+    #[test]
+    fn reset_all_and_ranges() {
+        let b = BitGatekeeperArray::new(130);
+        for i in 0..130 {
+            assert!(b.try_claim_once(i));
+        }
+        b.reset_range(60..70); // straddles a word boundary
+        for i in 0..130 {
+            assert_eq!(b.try_claim_once(i), (60..70).contains(&i), "bit {i}");
+        }
+        b.reset_all();
+        for i in 0..130 {
+            assert!(b.try_claim_once(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_range_resets_on_disjoint_ranges_are_exact() {
+        let b = BitGatekeeperArray::new(128);
+        for i in 0..128 {
+            b.try_claim_once(i);
+        }
+        std::thread::scope(|s| {
+            let b = &b;
+            s.spawn(move || b.reset_range(0..64));
+            s.spawn(move || b.reset_range(64..128));
+        });
+        for i in 0..128 {
+            assert!(b.try_claim_once(i), "bit {i} not re-armed");
+        }
+    }
+
+    #[test]
+    fn exactly_one_winner_under_contention() {
+        let b = BitGatekeeperArray::new(64);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for i in 0..64 {
+                        if b.try_claim_once(i) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn slice_arbiter_round_is_ignored() {
+        let b = BitGatekeeperArray::new(1);
+        assert!(SliceArbiter::try_claim(&b, 0, Round::FIRST));
+        assert!(!SliceArbiter::try_claim(
+            &b,
+            0,
+            Round::from_iteration(5)
+        ));
+        assert!(!b.rearms_on_new_round());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let b = BitGatekeeperArray::new(10);
+        b.try_claim_once(10);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = BitGatekeeperArray::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.aux_bytes(), 0);
+        b.reset_all();
+    }
+}

@@ -1,0 +1,683 @@
+//! CAS-if-Less-Than arbitration — the paper's contribution.
+//!
+//! Each concurrent-write target owns one auxiliary word, `last_round_updated`
+//! (the paper's `lastRoundUpdated`), holding the ID of the last round in
+//! which the target was claimed (0 = never). The claim operation is the
+//! paper's Figure 1 translated to Rust atomics:
+//!
+//! ```text
+//! inline bool canConWriteCASLT(unsigned &lastRoundUpdated, unsigned round) {
+//!     bool x = false;
+//!     if ((unsigned current = lastRoundUpdated) < round)   // fast-path load
+//!         x = atomic_cas(&lastRoundUpdated, current, round);
+//!     return x;
+//! }
+//! ```
+//!
+//! Two properties follow:
+//!
+//! * **Wait-free.** Every call completes in one load plus at most one CAS,
+//!   independent of other threads' progress. A CAS failure is definitive —
+//!   some other thread moved the cell to `round` (or the claim raced with a
+//!   later epoch reset) — so there is no retry loop.
+//! * **Bounded serialization.** Only threads whose fast-path load observed a
+//!   stale value execute the CAS; after the first winner, every later
+//!   arrival reads `== round` and skips the atomic entirely. At most
+//!   `P_phys` CASes can be in flight at once, giving the O(1) claim cost of
+//!   the paper's §6 analysis — in contrast to the gatekeeper scheme, where
+//!   *all* competitors serialize on a fetch-and-increment.
+//!
+//! The cells never need reinitialization between rounds: advancing the round
+//! counter re-arms all of them. Only exhaustion of the 32-bit round space
+//! forces a reset (see [`crate::RoundCounter`]); `CasLtCell64` trades 2×
+//! auxiliary memory for a practically inexhaustible round space.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::round::Round;
+use crate::traits::{Arbiter, SliceArbiter};
+
+/// A single CAS-LT arbitration word (32-bit rounds, matching the paper).
+///
+/// ```
+/// use pram_core::{CasLtCell, Round};
+///
+/// let cell = CasLtCell::new();
+/// let r1 = Round::from_iteration(0);
+/// let r2 = Round::from_iteration(1);
+/// assert!(cell.try_claim(r1));   // first claimant of round 1 wins
+/// assert!(!cell.try_claim(r1));  // same round: already claimed
+/// assert!(cell.try_claim(r2));   // new round re-arms the cell for free
+/// ```
+#[derive(Debug, Default)]
+pub struct CasLtCell {
+    last_round_updated: AtomicU32,
+}
+
+impl CasLtCell {
+    /// A never-claimed cell.
+    #[inline]
+    pub const fn new() -> CasLtCell {
+        CasLtCell {
+            last_round_updated: AtomicU32::new(0),
+        }
+    }
+
+    /// The paper's `canConWriteCASLT`: claim this cell for `round`.
+    ///
+    /// Returns `true` iff the caller is the unique winner among all claims
+    /// for (`self`, `round`). Wait-free: one load, at most one CAS.
+    #[inline]
+    pub fn try_claim(&self, round: Round) -> bool {
+        // Fast path: if the cell already carries the current round, the
+        // write has been claimed — skip the atomic RMW entirely. Relaxed is
+        // sufficient: the value only gates *writer* election; dependent
+        // readers are ordered by the program's synchronization point (see
+        // crate::ordering).
+        let current = self.last_round_updated.load(Ordering::Relaxed);
+        if current >= round.get() {
+            return false;
+        }
+        // Slow path: compete. Exactly one CAS from `current` (or any other
+        // stale value) to `round` succeeds; the rest observe the new value
+        // and fail. `compare_exchange` (strong) keeps the wait-free bound —
+        // a spurious failure of the weak variant would force a retry loop.
+        self.last_round_updated
+            .compare_exchange(current, round.get(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The last round this cell was claimed in, or `None` if never/reset.
+    #[inline]
+    pub fn last_claimed(&self) -> Option<Round> {
+        match self.last_round_updated.load(Ordering::Relaxed) {
+            0 => None,
+            r => Some(Round(r)),
+        }
+    }
+
+    /// Restore the never-claimed state (start of a new epoch).
+    #[inline]
+    pub fn reset(&mut self) {
+        *self.last_round_updated.get_mut() = 0;
+    }
+
+    /// Shared-access reset, for parallel epoch-reset passes over disjoint
+    /// ranges. Must not race with in-flight claims on the same cell.
+    #[inline]
+    pub fn reset_shared(&self) {
+        self.last_round_updated.store(0, Ordering::Relaxed);
+    }
+
+    /// Raw fast-path load (used by the instrumented claim in `stats`).
+    #[inline]
+    pub(crate) fn load_raw(&self) -> u32 {
+        self.last_round_updated.load(Ordering::Relaxed)
+    }
+
+    /// Raw claim CAS (used by the instrumented claim in `stats`).
+    #[inline]
+    pub(crate) fn cas_raw(&self, current: u32, new: u32) -> bool {
+        self.last_round_updated
+            .compare_exchange(current, new, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+impl Arbiter for CasLtCell {
+    #[inline]
+    fn try_claim(&self, round: Round) -> bool {
+        CasLtCell::try_claim(self, round)
+    }
+    fn reset(&mut self) {
+        CasLtCell::reset(self);
+    }
+    fn rearms_on_new_round(&self) -> bool {
+        true
+    }
+}
+
+/// A CAS-LT arbitration word with 64-bit rounds.
+///
+/// The 32-bit round space of [`CasLtCell`] wraps after ~4.3 billion
+/// concurrent-write steps, forcing an O(K) epoch reset. The 64-bit variant
+/// makes exhaustion unreachable in practice (half a million years at 1 ns
+/// per round) at the cost of doubling the auxiliary memory — the
+/// `ablate_width` bench quantifies the runtime difference.
+#[derive(Debug, Default)]
+pub struct CasLtCell64 {
+    last_round_updated: AtomicU64,
+}
+
+impl CasLtCell64 {
+    /// A never-claimed cell.
+    #[inline]
+    pub const fn new() -> CasLtCell64 {
+        CasLtCell64 {
+            last_round_updated: AtomicU64::new(0),
+        }
+    }
+
+    /// Claim this cell for the 64-bit round `round` (must be nonzero and
+    /// monotonically non-decreasing across calls, as with [`Round`]).
+    #[inline]
+    pub fn try_claim_wide(&self, round: u64) -> bool {
+        debug_assert!(round != 0, "round 0 is the never-claimed sentinel");
+        let current = self.last_round_updated.load(Ordering::Relaxed);
+        if current >= round {
+            return false;
+        }
+        self.last_round_updated
+            .compare_exchange(current, round, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The last 64-bit round this cell was claimed in (0 = never).
+    #[inline]
+    pub fn last_claimed_wide(&self) -> u64 {
+        self.last_round_updated.load(Ordering::Relaxed)
+    }
+
+    /// Restore the never-claimed state.
+    #[inline]
+    pub fn reset(&mut self) {
+        *self.last_round_updated.get_mut() = 0;
+    }
+}
+
+impl Arbiter for CasLtCell64 {
+    #[inline]
+    fn try_claim(&self, round: Round) -> bool {
+        self.try_claim_wide(round.widen())
+    }
+    fn reset(&mut self) {
+        CasLtCell64::reset(self);
+    }
+    fn rearms_on_new_round(&self) -> bool {
+        true
+    }
+}
+
+/// A packed array of [`CasLtCell`]s — one word per concurrent-write target.
+///
+/// This is the layout the paper's kernels use (`unsigned RoundWritten[N]`):
+/// 4 bytes per target, 16 targets per cache line. Dense packing maximizes
+/// the reach of each cache line during the read-mostly fast path at the cost
+/// of false sharing between *winning* CASes on neighboring targets; compare
+/// [`PaddedCasLtArray`] and the `ablate_padding` bench.
+#[derive(Debug)]
+pub struct CasLtArray {
+    cells: Box<[CasLtCell]>,
+}
+
+impl CasLtArray {
+    /// `len` never-claimed cells.
+    pub fn new(len: usize) -> CasLtArray {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, CasLtCell::new);
+        CasLtArray {
+            cells: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of targets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the array has no targets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Claim target `index` for `round`. See [`CasLtCell::try_claim`].
+    #[inline]
+    pub fn try_claim(&self, index: usize, round: Round) -> bool {
+        self.cells[index].try_claim(round)
+    }
+
+    /// The last round target `index` was claimed in.
+    #[inline]
+    pub fn last_claimed(&self, index: usize) -> Option<Round> {
+        self.cells[index].last_claimed()
+    }
+
+    /// Exclusive-access whole-array reset (start of a new epoch).
+    pub fn reset(&mut self) {
+        for c in self.cells.iter_mut() {
+            c.reset();
+        }
+    }
+
+    /// Access the underlying cells (e.g. to share sub-slices with workers).
+    #[inline]
+    pub fn cells(&self) -> &[CasLtCell] {
+        &self.cells
+    }
+}
+
+impl SliceArbiter for CasLtArray {
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+    #[inline]
+    fn try_claim(&self, index: usize, round: Round) -> bool {
+        self.cells[index].try_claim(round)
+    }
+    fn reset_all(&self) {
+        for c in self.cells.iter() {
+            c.reset_shared();
+        }
+    }
+    fn reset_range(&self, range: Range<usize>) {
+        for c in &self.cells[range] {
+            c.reset_shared();
+        }
+    }
+    fn rearms_on_new_round(&self) -> bool {
+        true
+    }
+}
+
+/// A cache-line-padded array of CAS-LT cells.
+///
+/// Each cell occupies its own cache line (64/128 bytes via
+/// `crossbeam_utils::CachePadded`), eliminating false sharing between CASes
+/// on distinct targets at a 16–32× memory cost. Useful when targets are few
+/// and hot (e.g. a handful of reduction cells); for per-vertex arbitration
+/// the packed [`CasLtArray`] is usually superior because the fast path is
+/// read-dominated.
+#[derive(Debug)]
+pub struct PaddedCasLtArray {
+    cells: Box<[CachePadded<CasLtCell>]>,
+}
+
+impl PaddedCasLtArray {
+    /// `len` never-claimed, cache-line-isolated cells.
+    pub fn new(len: usize) -> PaddedCasLtArray {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || CachePadded::new(CasLtCell::new()));
+        PaddedCasLtArray {
+            cells: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of targets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the array has no targets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Claim target `index` for `round`.
+    #[inline]
+    pub fn try_claim(&self, index: usize, round: Round) -> bool {
+        self.cells[index].try_claim(round)
+    }
+
+    /// Exclusive-access whole-array reset.
+    pub fn reset(&mut self) {
+        for c in self.cells.iter_mut() {
+            c.reset();
+        }
+    }
+}
+
+impl SliceArbiter for PaddedCasLtArray {
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+    #[inline]
+    fn try_claim(&self, index: usize, round: Round) -> bool {
+        self.cells[index].try_claim(round)
+    }
+    fn reset_all(&self) {
+        for c in self.cells.iter() {
+            c.reset_shared();
+        }
+    }
+    fn reset_range(&self, range: Range<usize>) {
+        for c in &self.cells[range] {
+            c.reset_shared();
+        }
+    }
+    fn rearms_on_new_round(&self) -> bool {
+        true
+    }
+}
+
+/// Ablation variant: CAS-LT **without** the pre-CAS load check — every
+/// claim issues an atomic RMW (`fetch_max(round)`), winning iff the
+/// previous value was older.
+///
+/// Semantically identical to [`CasLtArray`] (single winner per round,
+/// reset-free re-arming) but with the gatekeeper method's cost structure:
+/// all competitors serialize on the RMW. The `ablate_fastpath` bench uses
+/// this to isolate how much of CAS-LT's advantage is the skip itself, which
+/// is the paper's §5 claim ("we skip the atomic instruction once we have a
+/// winner thread").
+#[derive(Debug)]
+pub struct AlwaysRmwCasLtArray {
+    cells: Box<[AtomicU32]>,
+}
+
+impl AlwaysRmwCasLtArray {
+    /// `len` never-claimed cells.
+    pub fn new(len: usize) -> AlwaysRmwCasLtArray {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || AtomicU32::new(0));
+        AlwaysRmwCasLtArray {
+            cells: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of targets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the array has no targets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+impl SliceArbiter for AlwaysRmwCasLtArray {
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+    #[inline]
+    fn try_claim(&self, index: usize, round: Round) -> bool {
+        // Unconditional RMW: the ablated fast path.
+        self.cells[index].fetch_max(round.get(), Ordering::AcqRel) < round.get()
+    }
+    fn reset_all(&self) {
+        for c in self.cells.iter() {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+    fn reset_range(&self, range: Range<usize>) {
+        for c in &self.cells[range] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+    fn rearms_on_new_round(&self) -> bool {
+        true
+    }
+}
+
+/// A packed array of [`CasLtCell64`]s — the auxiliary-width ablation
+/// (8 bytes/target, inexhaustible round space; see [`CasLtCell64`]).
+#[derive(Debug)]
+pub struct CasLtArray64 {
+    cells: Box<[CasLtCell64]>,
+}
+
+impl CasLtArray64 {
+    /// `len` never-claimed cells.
+    pub fn new(len: usize) -> CasLtArray64 {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, CasLtCell64::new);
+        CasLtArray64 {
+            cells: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of targets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` if the array has no targets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Claim target `index` for the 64-bit round `round`.
+    #[inline]
+    pub fn try_claim_wide(&self, index: usize, round: u64) -> bool {
+        self.cells[index].try_claim_wide(round)
+    }
+}
+
+impl SliceArbiter for CasLtArray64 {
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+    #[inline]
+    fn try_claim(&self, index: usize, round: Round) -> bool {
+        self.cells[index].try_claim_wide(round.widen())
+    }
+    fn reset_all(&self) {
+        for c in self.cells.iter() {
+            c.last_round_updated.store(0, Ordering::Relaxed);
+        }
+    }
+    fn reset_range(&self, range: Range<usize>) {
+        for c in &self.cells[range] {
+            c.last_round_updated.store(0, Ordering::Relaxed);
+        }
+    }
+    fn rearms_on_new_round(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn r(i: u32) -> Round {
+        Round::from_iteration(i)
+    }
+
+    #[test]
+    fn single_thread_claim_semantics() {
+        let c = CasLtCell::new();
+        assert_eq!(c.last_claimed(), None);
+        assert!(c.try_claim(r(0)));
+        assert!(!c.try_claim(r(0)));
+        assert_eq!(c.last_claimed(), Some(r(0)));
+        assert!(c.try_claim(r(1)));
+        assert_eq!(c.last_claimed(), Some(r(1)));
+    }
+
+    #[test]
+    fn stale_round_never_wins() {
+        let c = CasLtCell::new();
+        assert!(c.try_claim(r(5)));
+        // A thread late to the party with an older round must fail: the
+        // fast-path comparison is `current >= round`.
+        assert!(!c.try_claim(r(3)));
+        assert!(!c.try_claim(r(5)));
+        assert!(c.try_claim(r(6)));
+    }
+
+    #[test]
+    fn skipping_rounds_is_allowed() {
+        let c = CasLtCell::new();
+        assert!(c.try_claim(r(0)));
+        assert!(c.try_claim(r(100)));
+        assert!(!c.try_claim(r(50)));
+    }
+
+    #[test]
+    fn reset_rearms_old_rounds() {
+        let mut c = CasLtCell::new();
+        assert!(c.try_claim(r(9)));
+        c.reset();
+        assert!(c.try_claim(r(0)));
+    }
+
+    #[test]
+    fn exactly_one_winner_under_contention() {
+        // The central invariant, hammered by real threads over many rounds.
+        let threads = 8;
+        let rounds = 200;
+        let cell = CasLtCell::new();
+        let wins = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(threads);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    for i in 0..rounds {
+                        barrier.wait();
+                        if cell.try_claim(r(i)) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), rounds as usize);
+    }
+
+    #[test]
+    fn array_claims_are_independent_per_cell() {
+        let a = CasLtArray::new(4);
+        assert!(a.try_claim(0, r(0)));
+        assert!(a.try_claim(1, r(0)));
+        assert!(!a.try_claim(0, r(0)));
+        assert_eq!(a.last_claimed(2), None);
+        assert_eq!(a.last_claimed(0), Some(r(0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn array_claim_out_of_bounds_panics() {
+        let a = CasLtArray::new(2);
+        a.try_claim(2, r(0));
+    }
+
+    #[test]
+    fn array_reset_all_and_range() {
+        let a = CasLtArray::new(8);
+        for i in 0..8 {
+            assert!(a.try_claim(i, r(0)));
+        }
+        a.reset_range(2..5);
+        for i in 0..8 {
+            let claimed_again = a.try_claim(i, r(0));
+            assert_eq!(claimed_again, (2..5).contains(&i), "cell {i}");
+        }
+        a.reset_all();
+        for i in 0..8 {
+            assert!(a.try_claim(i, r(0)));
+        }
+    }
+
+    #[test]
+    fn wide_cell_accepts_rounds_beyond_u32() {
+        let c = CasLtCell64::new();
+        assert!(c.try_claim_wide(u64::from(u32::MAX) + 10));
+        assert!(!c.try_claim_wide(u64::from(u32::MAX) + 10));
+        assert!(c.try_claim_wide(u64::from(u32::MAX) + 11));
+        assert_eq!(c.last_claimed_wide(), u64::from(u32::MAX) + 11);
+    }
+
+    #[test]
+    fn wide_cell_as_arbiter_uses_narrow_rounds() {
+        let c = CasLtCell64::new();
+        assert!(Arbiter::try_claim(&c, r(0)));
+        assert!(!Arbiter::try_claim(&c, r(0)));
+        assert!(c.rearms_on_new_round());
+    }
+
+    #[test]
+    fn padded_array_same_semantics_as_packed() {
+        let a = PaddedCasLtArray::new(3);
+        assert!(a.try_claim(1, r(0)));
+        assert!(!a.try_claim(1, r(0)));
+        assert!(a.try_claim(1, r(1)));
+        a.reset_all();
+        assert!(a.try_claim(1, r(0)));
+    }
+
+    #[test]
+    fn padded_cells_occupy_distinct_cache_lines() {
+        let a = PaddedCasLtArray::new(2);
+        let p0 = &a.cells[0] as *const _ as usize;
+        let p1 = &a.cells[1] as *const _ as usize;
+        assert!(p1 - p0 >= 64, "expected cache-line separation");
+    }
+
+    #[test]
+    fn always_rmw_variant_same_semantics() {
+        let a = AlwaysRmwCasLtArray::new(2);
+        assert!(a.try_claim(0, r(0)));
+        assert!(!a.try_claim(0, r(0)));
+        assert!(a.try_claim(0, r(1))); // rearms on round advance
+        assert!(!a.try_claim(0, r(0))); // stale round loses
+        assert!(a.rearms_on_new_round());
+        a.reset_all();
+        assert!(a.try_claim(0, r(0)));
+        a.reset_range(0..1);
+        assert!(a.try_claim(0, r(0)));
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn always_rmw_one_winner_under_contention() {
+        let a = AlwaysRmwCasLtArray::new(1);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    if a.try_claim(0, r(0)) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn wide_array_same_semantics() {
+        let a = CasLtArray64::new(2);
+        assert!(SliceArbiter::try_claim(&a, 1, r(0)));
+        assert!(!SliceArbiter::try_claim(&a, 1, r(0)));
+        assert!(a.try_claim_wide(1, u64::from(u32::MAX) + 5));
+        assert!(!SliceArbiter::try_claim(&a, 1, r(7)));
+        a.reset_all();
+        assert!(SliceArbiter::try_claim(&a, 1, r(0)));
+        a.reset_range(1..2);
+        assert!(SliceArbiter::try_claim(&a, 1, r(0)));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn contended_multi_cell_rounds() {
+        // Claims to different cells in the same round are independent wins.
+        let cells = CasLtArray::new(16);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for i in 0..cells.len() {
+                        if cells.try_claim(i, r(0)) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 16);
+    }
+}

@@ -1,0 +1,372 @@
+//! Gatekeeper (prefix-sum) arbitration — the XMT-inspired prior practice.
+//!
+//! The method the paper compares against (Vishkin, Caragea & Lee 2008,
+//! realized with OpenMP `atomic capture` in the paper's Figure 2): every
+//! competitor performs an atomic postfix increment on a per-target
+//! *gatekeeper* counter, and the competitor that observed `0` wins:
+//!
+//! ```text
+//! inline bool canConWriteAtomic(unsigned &gatekeeper) {
+//!     unsigned x;
+//!     #pragma omp atomic capture
+//!     { x = gatekeeper; gatekeeper++; }
+//!     return x == 0;
+//! }
+//! ```
+//!
+//! Two structural costs distinguish it from CAS-LT:
+//!
+//! * **Unconditional serialization.** Every claim executes the atomic RMW,
+//!   even long after a winner exists, so all competitors to one target
+//!   serialize on its cache line (the paper's §6: time `T(N) = P_PRAM(N)`).
+//!   [`GatekeeperSkipCell`] adds the mitigation the paper mentions —
+//!   a plain load first, skipping the RMW once the gatekeeper is nonzero.
+//! * **Per-round reinitialization.** The gatekeeper carries no round
+//!   information, so the entire array must be re-zeroed before every new
+//!   concurrent-write round (the paper's Figure 3(b), lines 34–35): an extra
+//!   O(K) pass with its own barrier, which CAS-LT eliminates.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::round::Round;
+use crate::traits::{Arbiter, SliceArbiter};
+
+/// A single gatekeeper counter (the paper's Figure 2).
+///
+/// ```
+/// use pram_core::{Arbiter, GatekeeperCell, Round};
+///
+/// let g = GatekeeperCell::new();
+/// assert!(g.try_claim(Round::FIRST));    // observed 0: winner
+/// assert!(!g.try_claim(Round::FIRST));   // observed 1: loser
+/// // A new round does NOT re-arm the cell …
+/// assert!(!g.try_claim(Round::from_iteration(1)));
+/// // … an explicit reset is required.
+/// let mut g = g;
+/// g.reset();
+/// assert!(g.try_claim(Round::from_iteration(1)));
+/// ```
+#[derive(Debug, Default)]
+pub struct GatekeeperCell {
+    gatekeeper: AtomicU32,
+}
+
+impl GatekeeperCell {
+    /// A zeroed (armed) gatekeeper.
+    #[inline]
+    pub const fn new() -> GatekeeperCell {
+        GatekeeperCell {
+            gatekeeper: AtomicU32::new(0),
+        }
+    }
+
+    /// The paper's `canConWriteAtomic`: atomically post-increment and win
+    /// iff the previous value was 0.
+    ///
+    /// Wrapping note: the counter saturates logically — after 2³²
+    /// unreset claims the increment would wrap to 0 and elect a bogus second
+    /// winner. The kernels in this workspace reset every round, bounding the
+    /// count by the claim multiplicity of one round; `debug_assert!` guards
+    /// the invariant in test builds.
+    #[inline]
+    pub fn try_claim_once(&self) -> bool {
+        let prev = self.gatekeeper.fetch_add(1, Ordering::AcqRel);
+        debug_assert!(prev != u32::MAX, "gatekeeper wrapped: reset discipline violated");
+        prev == 0
+    }
+
+    /// Current claim count since the last reset.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.gatekeeper.load(Ordering::Relaxed)
+    }
+
+    /// Re-arm (exclusive access).
+    #[inline]
+    pub fn reset(&mut self) {
+        *self.gatekeeper.get_mut() = 0;
+    }
+
+    /// Re-arm through a shared reference — the building block of the
+    /// per-round parallel reinitialization pass. Must not race with claims.
+    #[inline]
+    pub fn reset_shared(&self) {
+        self.gatekeeper.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Arbiter for GatekeeperCell {
+    /// The round argument is ignored: gatekeepers carry no round state.
+    #[inline]
+    fn try_claim(&self, _round: Round) -> bool {
+        self.try_claim_once()
+    }
+    fn reset(&mut self) {
+        GatekeeperCell::reset(self);
+    }
+    fn rearms_on_new_round(&self) -> bool {
+        false
+    }
+}
+
+/// Gatekeeper with the load-first mitigation (paper §5: "this can be
+/// mitigated by skipping the atomic operation, once the gatekeeper variable
+/// is no longer equal to 0").
+///
+/// Late arrivals read a nonzero gatekeeper and skip the RMW, removing the
+/// post-decision serialization — but the scheme still requires the per-round
+/// reset pass, which is what keeps it behind CAS-LT in the paper's CC
+/// benchmark.
+#[derive(Debug, Default)]
+pub struct GatekeeperSkipCell {
+    inner: GatekeeperCell,
+}
+
+impl GatekeeperSkipCell {
+    /// A zeroed (armed) gatekeeper.
+    #[inline]
+    pub const fn new() -> GatekeeperSkipCell {
+        GatekeeperSkipCell {
+            inner: GatekeeperCell::new(),
+        }
+    }
+
+    /// Claim: skip the atomic once a winner is known.
+    #[inline]
+    pub fn try_claim_once(&self) -> bool {
+        if self.inner.gatekeeper.load(Ordering::Relaxed) != 0 {
+            return false;
+        }
+        self.inner.try_claim_once()
+    }
+
+    /// Re-arm (exclusive access).
+    #[inline]
+    pub fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    /// Re-arm through a shared reference (reset pass only).
+    #[inline]
+    pub fn reset_shared(&self) {
+        self.inner.reset_shared();
+    }
+}
+
+impl Arbiter for GatekeeperSkipCell {
+    #[inline]
+    fn try_claim(&self, _round: Round) -> bool {
+        self.try_claim_once()
+    }
+    fn reset(&mut self) {
+        GatekeeperSkipCell::reset(self);
+    }
+    fn rearms_on_new_round(&self) -> bool {
+        false
+    }
+}
+
+macro_rules! gatekeeper_array {
+    ($(#[$meta:meta])* $name:ident, $cell:ident) => {
+        $(#[$meta])*
+        #[derive(Debug)]
+        pub struct $name {
+            cells: Box<[$cell]>,
+        }
+
+        impl $name {
+            /// `len` armed gatekeepers.
+            pub fn new(len: usize) -> $name {
+                let mut v = Vec::with_capacity(len);
+                v.resize_with(len, $cell::new);
+                $name { cells: v.into_boxed_slice() }
+            }
+
+            /// Number of targets.
+            #[inline]
+            pub fn len(&self) -> usize {
+                self.cells.len()
+            }
+
+            /// `true` if the array has no targets.
+            #[inline]
+            pub fn is_empty(&self) -> bool {
+                self.cells.is_empty()
+            }
+
+            /// Claim target `index` (round-free; see [`GatekeeperCell`]).
+            #[inline]
+            pub fn try_claim_once(&self, index: usize) -> bool {
+                self.cells[index].try_claim_once()
+            }
+
+            /// Exclusive-access whole-array re-arm.
+            pub fn reset(&mut self) {
+                for c in self.cells.iter_mut() {
+                    c.reset();
+                }
+            }
+
+            /// Access the underlying cells.
+            #[inline]
+            pub fn cells(&self) -> &[$cell] {
+                &self.cells
+            }
+        }
+
+        impl SliceArbiter for $name {
+            fn len(&self) -> usize {
+                self.cells.len()
+            }
+            #[inline]
+            fn try_claim(&self, index: usize, _round: Round) -> bool {
+                self.cells[index].try_claim_once()
+            }
+            fn reset_all(&self) {
+                for c in self.cells.iter() {
+                    c.reset_shared();
+                }
+            }
+            fn reset_range(&self, range: Range<usize>) {
+                for c in &self.cells[range] {
+                    c.reset_shared();
+                }
+            }
+            fn rearms_on_new_round(&self) -> bool {
+                false
+            }
+        }
+    };
+}
+
+gatekeeper_array!(
+    /// A packed array of [`GatekeeperCell`]s (the paper's
+    /// `unsigned gatekeeper[N]`). Requires [`SliceArbiter::reset_all`] (or a
+    /// parallel [`SliceArbiter::reset_range`] pass) before every round.
+    GatekeeperArray,
+    GatekeeperCell
+);
+
+gatekeeper_array!(
+    /// A packed array of [`GatekeeperSkipCell`]s — gatekeepers with the
+    /// skip-once-nonzero mitigation. Same reset discipline as
+    /// [`GatekeeperArray`].
+    GatekeeperSkipArray,
+    GatekeeperSkipCell
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn first_claim_wins_rest_lose() {
+        let g = GatekeeperCell::new();
+        assert!(g.try_claim_once());
+        for _ in 0..10 {
+            assert!(!g.try_claim_once());
+        }
+        assert_eq!(g.count(), 11);
+    }
+
+    #[test]
+    fn reset_rearms() {
+        let mut g = GatekeeperCell::new();
+        assert!(g.try_claim_once());
+        g.reset();
+        assert!(g.try_claim_once());
+    }
+
+    #[test]
+    fn skip_variant_does_not_inflate_count() {
+        let g = GatekeeperSkipCell::new();
+        assert!(g.try_claim_once());
+        for _ in 0..100 {
+            assert!(!g.try_claim_once());
+        }
+        // Losers skipped the RMW: the counter stays at 1.
+        assert_eq!(g.inner.count(), 1);
+    }
+
+    #[test]
+    fn exactly_one_winner_under_contention() {
+        let threads = 8;
+        let iters = 200;
+        let wins = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(threads);
+        let mut g = GatekeeperCell::new();
+        for _ in 0..iters {
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| {
+                        barrier.wait();
+                        if g.try_claim_once() {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            g.reset();
+        }
+        assert_eq!(wins.load(Ordering::Relaxed), iters);
+    }
+
+    #[test]
+    fn exactly_one_winner_skip_variant() {
+        let threads = 8;
+        let iters = 200;
+        let wins = AtomicUsize::new(0);
+        let mut g = GatekeeperSkipCell::new();
+        for _ in 0..iters {
+            std::thread::scope(|s| {
+                for _ in 0..threads {
+                    s.spawn(|| {
+                        if g.try_claim_once() {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+            });
+            g.reset();
+        }
+        assert_eq!(wins.load(Ordering::Relaxed), iters);
+    }
+
+    #[test]
+    fn arrays_reset_all_and_range() {
+        let a = GatekeeperArray::new(6);
+        for i in 0..6 {
+            assert!(a.try_claim_once(i));
+            assert!(!a.try_claim_once(i));
+        }
+        a.reset_range(0..3);
+        for i in 0..6 {
+            assert_eq!(a.try_claim_once(i), i < 3, "cell {i}");
+        }
+        a.reset_all();
+        for i in 0..6 {
+            assert!(a.try_claim_once(i));
+        }
+    }
+
+    #[test]
+    fn arbiter_trait_ignores_round() {
+        let g = GatekeeperCell::new();
+        assert!(Arbiter::try_claim(&g, Round::FIRST));
+        // New round, no reset: still claimed — the defining limitation.
+        assert!(!Arbiter::try_claim(&g, Round::from_iteration(1)));
+        assert!(!g.rearms_on_new_round());
+    }
+
+    #[test]
+    fn skip_array_basic() {
+        let a = GatekeeperSkipArray::new(2);
+        assert!(SliceArbiter::try_claim(&a, 0, Round::FIRST));
+        assert!(!SliceArbiter::try_claim(&a, 0, Round::FIRST));
+        assert!(SliceArbiter::try_claim(&a, 1, Round::FIRST));
+        a.reset_all();
+        assert!(SliceArbiter::try_claim(&a, 0, Round::FIRST));
+    }
+}

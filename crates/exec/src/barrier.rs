@@ -1,0 +1,242 @@
+//! A reusable sense-reversing spin barrier.
+//!
+//! The barrier is the synchronization point the paper requires between a
+//! concurrent-write round and its dependent reads, and it executes on every
+//! loop boundary, so its cost structure matters: one shared arrival counter
+//! plus a generation word, both cache-line-isolated. Arrivers increment the
+//! counter; the last arriver resets it, optionally runs a caller-supplied
+//! closure (the hook [`crate::WorkerCtx`] uses to re-arm per-round shared
+//! state exactly once, race-free), and bumps the generation, releasing the
+//! spinners.
+//!
+//! A barrier releases *happens-before* edges in both directions: every
+//! pre-barrier action of every participant happens-before every
+//! post-barrier action of every participant (arrivals `AcqRel` on the
+//! counter; release via a `Release` store of the generation, observed with
+//! `Acquire` loads).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use crossbeam_utils::CachePadded;
+
+use crate::config::WaitPolicy;
+
+/// A reusable barrier for a fixed team of participants.
+///
+/// Every participant must call [`SpinBarrier::wait`] (or
+/// [`SpinBarrier::wait_with`]) the same number of times; the k-th calls of
+/// all participants form the k-th rendezvous.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    arrived: CachePadded<AtomicUsize>,
+    generation: CachePadded<AtomicU64>,
+    total: usize,
+    policy: WaitPolicy,
+    spin_before_yield: u32,
+    /// Set by the pool when a sibling worker panics; spinners convert it
+    /// into a panic of their own instead of waiting forever for a
+    /// participant that will never arrive.
+    poisoned: CachePadded<AtomicBool>,
+}
+
+impl SpinBarrier {
+    /// A barrier for `total` participants (≥ 1).
+    pub fn new(total: usize, policy: WaitPolicy, spin_before_yield: u32) -> SpinBarrier {
+        assert!(total >= 1, "a barrier needs at least one participant");
+        SpinBarrier {
+            arrived: CachePadded::new(AtomicUsize::new(0)),
+            generation: CachePadded::new(AtomicU64::new(0)),
+            total,
+            policy,
+            spin_before_yield,
+            poisoned: CachePadded::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Number of participants.
+    #[inline]
+    pub fn participants(&self) -> usize {
+        self.total
+    }
+
+    /// Rendezvous. Returns `true` on the single thread that released the
+    /// barrier (the last arriver) — the OpenMP-`single`-like election some
+    /// callers exploit.
+    #[inline]
+    pub fn wait(&self) -> bool {
+        self.wait_with(|| {})
+    }
+
+    /// Rendezvous; the last arriver runs `f` *before* releasing the others.
+    ///
+    /// Everything `f` does therefore happens-before every participant's
+    /// post-barrier code — the race-free slot for resetting shared
+    /// per-round state (cursors, convergence flags, gatekeeper arrays).
+    pub fn wait_with(&self, f: impl FnOnce()) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        let arrived = self.arrived.fetch_add(1, Ordering::AcqRel) + 1;
+        debug_assert!(arrived <= self.total, "barrier called by a non-participant");
+        if arrived == self.total {
+            f();
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            true
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                if self.poisoned.load(Ordering::Relaxed) {
+                    panic!("barrier poisoned: a sibling worker panicked");
+                }
+                match self.policy {
+                    WaitPolicy::Active => std::hint::spin_loop(),
+                    WaitPolicy::Passive => {
+                        if spins < self.spin_before_yield {
+                            spins += 1;
+                            std::hint::spin_loop();
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+            false
+        }
+    }
+
+    /// Poison the barrier: current and future waiters panic instead of
+    /// spinning forever. Called by the pool's panic propagation.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the barrier has been poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn barrier(n: usize) -> SpinBarrier {
+        SpinBarrier::new(n, WaitPolicy::Passive, 64)
+    }
+
+    #[test]
+    fn single_participant_never_blocks() {
+        let b = barrier(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn phases_are_totally_separated() {
+        // Classic barrier test: per-phase counters must be complete before
+        // anyone proceeds to the next phase.
+        const THREADS: usize = 8;
+        const PHASES: usize = 50;
+        let b = barrier(THREADS);
+        let counters: Vec<AtomicU32> = (0..PHASES).map(|_| AtomicU32::new(0)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for (phase, counter) in counters.iter().enumerate() {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        b.wait();
+                        // After the barrier, this phase's counter is full.
+                        assert_eq!(
+                            counter.load(Ordering::Relaxed),
+                            THREADS as u32,
+                            "phase {phase} leaked past the barrier"
+                        );
+                        // And the next phase's counter is still bounded.
+                        if phase + 1 < PHASES {
+                            assert!(
+                                counters[phase + 1].load(Ordering::Relaxed) < THREADS as u32,
+                                "phase {} completed before phase {phase} released",
+                                phase + 1
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn exactly_one_releaser_per_phase() {
+        const THREADS: usize = 6;
+        const PHASES: usize = 40;
+        let b = barrier(THREADS);
+        let releases = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..PHASES {
+                        if b.wait() {
+                            releases.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(releases.load(Ordering::Relaxed), PHASES as u32);
+    }
+
+    #[test]
+    fn wait_with_runs_before_release() {
+        const THREADS: usize = 4;
+        let b = barrier(THREADS);
+        let slot = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for phase in 1..=20u32 {
+                        b.wait_with(|| slot.store(phase, Ordering::Relaxed));
+                        // The closure's effect is visible to every thread
+                        // immediately after the barrier.
+                        assert_eq!(slot.load(Ordering::Relaxed), phase);
+                        b.wait(); // keep phases aligned for the assert
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn active_policy_works_too() {
+        let b = SpinBarrier::new(4, WaitPolicy::Active, 0);
+        let hits = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                    b.wait();
+                    assert_eq!(hits.load(Ordering::Relaxed), 4);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn poison_releases_waiters_as_panics() {
+        let b = barrier(2);
+        let r = std::thread::scope(|s| {
+            let h = s.spawn(|| b.wait()); // will never be joined by a peer
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            b.poison();
+            h.join()
+        });
+        assert!(r.is_err(), "waiter should have panicked on poison");
+        assert!(b.is_poisoned());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn zero_participants_rejected() {
+        let _ = barrier(0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Pool configuration: team size and wait policy.
+
+/// How a thread waits at a barrier (the analog of `OMP_WAIT_POLICY`).
+///
+/// The paper's experiments set the OpenMP runtime to the *active* policy:
+/// waiting threads spin, never yielding the core, minimizing barrier
+/// latency when every thread owns a core. On oversubscribed machines
+/// (more threads than cores — including this workspace's thread-sweep
+/// benchmarks run on small boxes) active waiting is pathological: a
+/// spinning waiter burns the timeslice the straggler needs. The *passive*
+/// policy spins briefly, then politely yields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaitPolicy {
+    /// Pure spin (`OMP_WAIT_POLICY=active`). Lowest latency when
+    /// `threads <= cores`; livelock-prone when oversubscribed.
+    Active,
+    /// Spin [`PoolConfig::spin_before_yield`] iterations, then
+    /// `std::thread::yield_now` between re-checks. Robust default.
+    #[default]
+    Passive,
+}
+
+/// Configuration for [`crate::ThreadPool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Team size, including the caller's thread (≥ 1).
+    pub threads: usize,
+    /// Barrier wait behaviour.
+    pub wait_policy: WaitPolicy,
+    /// Spin iterations before the passive policy starts yielding.
+    pub spin_before_yield: u32,
+}
+
+impl PoolConfig {
+    /// A team of `threads` with the default (passive) wait policy.
+    pub fn new(threads: usize) -> PoolConfig {
+        PoolConfig {
+            threads,
+            ..PoolConfig::default()
+        }
+    }
+
+    /// Override the wait policy.
+    pub fn wait_policy(mut self, policy: WaitPolicy) -> PoolConfig {
+        self.wait_policy = policy;
+        self
+    }
+
+    /// Override the pre-yield spin count.
+    pub fn spin_before_yield(mut self, iters: u32) -> PoolConfig {
+        self.spin_before_yield = iters;
+        self
+    }
+}
+
+impl Default for PoolConfig {
+    /// One thread per available core, passive waiting.
+    fn default() -> PoolConfig {
+        PoolConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            wait_policy: WaitPolicy::Passive,
+            spin_before_yield: 128,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = PoolConfig::new(7)
+            .wait_policy(WaitPolicy::Active)
+            .spin_before_yield(5);
+        assert_eq!(c.threads, 7);
+        assert_eq!(c.wait_policy, WaitPolicy::Active);
+        assert_eq!(c.spin_before_yield, 5);
+    }
+
+    #[test]
+    fn default_is_passive_with_positive_team() {
+        let c = PoolConfig::default();
+        assert!(c.threads >= 1);
+        assert_eq!(c.wait_policy, WaitPolicy::Passive);
+    }
+}

@@ -1,0 +1,61 @@
+//! # pram-exec — an OpenMP-style execution substrate for PRAM kernels
+//!
+//! The paper implements its kernels with OpenMP: a team of threads enters a
+//! parallel region once, then repeatedly loop-schedules an index space and
+//! meets at barriers between lock-step rounds
+//! (`#pragma omp parallel` / `#pragma omp for` / implicit barriers, with
+//! `OMP_WAIT_POLICY` controlling how waiting threads behave). This crate is
+//! that runtime rebuilt from scratch on `std::thread` + atomics, so the
+//! concurrent-write methods of `pram-core` are exercised under the same
+//! execution structure the paper measured:
+//!
+//! * [`ThreadPool`] — a persistent team of workers. [`ThreadPool::run`]
+//!   executes one closure on **every** thread of the team (SPMD), like
+//!   entering `#pragma omp parallel`.
+//! * [`WorkerCtx`] — the per-thread view inside a region:
+//!   [`WorkerCtx::for_each`] (OpenMP `for` with [`Schedule`]
+//!   static/dynamic/guided clauses and the implicit ending barrier),
+//!   [`WorkerCtx::barrier`], [`WorkerCtx::converge_rounds`] (the
+//!   `while(!done)` lock-step pattern of the paper's BFS and CC kernels,
+//!   with barrier-separated [`pram_core::Round`]s supplied automatically).
+//! * [`SpinBarrier`] — a sense-reversing centralized barrier with an
+//!   active (pure spin, `OMP_WAIT_POLICY=active`) or passive
+//!   (spin-then-yield) [`WaitPolicy`].
+//!
+//! ## Why lock-step structure matters here
+//!
+//! PRAM semantics require a synchronization point between a concurrent
+//! write and any dependent read (paper §4). Every loop issued through
+//! [`WorkerCtx::for_each`] ends in a barrier, and
+//! [`WorkerCtx::converge_rounds`] barriers between rounds, so kernels built
+//! on this crate satisfy the *round discipline* that
+//! [`pram_core::payload`] requires for its multi-word writes — the safety
+//! argument is structural, not per-call-site.
+//!
+//! ```
+//! use pram_exec::{Schedule, ThreadPool};
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//!
+//! let pool = ThreadPool::new(4);
+//! let hits = AtomicU64::new(0);
+//! pool.run(|ctx| {
+//!     // All 4 threads execute this closure; indices are partitioned.
+//!     ctx.for_each(0..1000, Schedule::default(), |_i| {
+//!         hits.fetch_add(1, Ordering::Relaxed);
+//!     });
+//! });
+//! assert_eq!(hits.load(Ordering::Relaxed), 1000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod barrier;
+pub mod config;
+pub mod pool;
+pub mod schedule;
+
+pub use barrier::SpinBarrier;
+pub use config::{PoolConfig, WaitPolicy};
+pub use pool::{ChangedFlag, ThreadPool, WorkerCtx};
+pub use schedule::Schedule;

@@ -1,0 +1,807 @@
+//! The persistent worker pool and the per-thread region context.
+//!
+//! [`ThreadPool::run`] is `#pragma omp parallel`: one closure, executed by
+//! every thread of the team (SPMD). Inside, [`WorkerCtx`] provides the
+//! worksharing and synchronization constructs the paper's kernels are built
+//! from. The team is spawned once and reused across regions — region entry
+//! costs one condvar broadcast, not `threads` thread spawns — because the
+//! benchmarks enter a region per kernel invocation and any spawn cost would
+//! pollute the concurrent-write comparison.
+//!
+//! ## Panic handling
+//!
+//! A panic inside a region would classically deadlock the team at the next
+//! barrier (the panicking thread never arrives). The pool instead poisons
+//! the barrier: sibling threads blocked at (or arriving at) a barrier panic
+//! too, the region drains, and [`ThreadPool::run`] resumes the original
+//! panic payload on the caller. The pool itself stays poisoned — subsequent
+//! `run` calls panic immediately — because team state (barrier phase,
+//! cursors) is unrecoverable mid-protocol.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_utils::CachePadded;
+use parking_lot::{Condvar, Mutex};
+use pram_core::Round;
+
+use crate::barrier::SpinBarrier;
+use crate::config::PoolConfig;
+use crate::schedule::{guided_grab, static_block, static_chunks, Schedule};
+
+/// The closure type executed by every team member during a region.
+type JobFn<'a> = dyn Fn(&WorkerCtx<'_>) + Sync + 'a;
+
+/// Lifetime-erased pointer to the current region's closure.
+///
+/// Sound because [`ThreadPool::run`] does not return until every worker has
+/// finished executing through the pointer, so the pointee (a local in the
+/// caller's frame) outlives all uses.
+struct RawJob(*const JobFn<'static>);
+// SAFETY: the pointer crosses threads only between `run`'s publication and
+// its completion wait, during which the pointee is alive and the closure is
+// `Sync`.
+unsafe impl Send for RawJob {}
+
+impl Clone for RawJob {
+    fn clone(&self) -> Self {
+        RawJob(self.0)
+    }
+}
+
+struct DispatchState {
+    /// Region sequence number; workers run one region per increment.
+    seq: u64,
+    job: Option<RawJob>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    threads: usize,
+    barrier: SpinBarrier,
+    /// Shared loop cursor for dynamic/guided scheduling. Reset by the
+    /// barrier releaser at loop entry, so no reset/grab race exists.
+    cursor: CachePadded<AtomicUsize>,
+    /// Double-buffered convergence flags for `converge_rounds`; round `i`
+    /// uses slot `i % 2`, and barrier spacing guarantees slot reuse is
+    /// race-free (see `converge_rounds`).
+    changed: [CachePadded<AtomicBool>; 2],
+    dispatch: Mutex<DispatchState>,
+    dispatch_cv: Condvar,
+    /// Workers still executing the current region.
+    remaining: Mutex<usize>,
+    remaining_cv: Condvar,
+    /// First panic payload from any team member.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// `#pragma omp critical` support.
+    critical: Mutex<()>,
+    /// Type-erased accumulator for `WorkerCtx::reduce`.
+    reduce_slot: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// A persistent team of threads executing SPMD regions.
+///
+/// The calling thread participates as team member 0, so `ThreadPool::new(n)`
+/// spawns `n - 1` workers. Dropping the pool shuts the workers down.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+    /// Serializes `run` calls: the team protocol supports one region at a
+    /// time.
+    region_guard: Mutex<()>,
+}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.shared.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ThreadPool {
+    /// A team of `threads` (≥ 1) with default configuration.
+    pub fn new(threads: usize) -> ThreadPool {
+        ThreadPool::with_config(PoolConfig::new(threads))
+    }
+
+    /// A team configured by `config`.
+    pub fn with_config(config: PoolConfig) -> ThreadPool {
+        assert!(config.threads >= 1, "a team needs at least one thread");
+        let shared = Arc::new(PoolShared {
+            threads: config.threads,
+            barrier: SpinBarrier::new(config.threads, config.wait_policy, config.spin_before_yield),
+            cursor: CachePadded::new(AtomicUsize::new(0)),
+            changed: [
+                CachePadded::new(AtomicBool::new(false)),
+                CachePadded::new(AtomicBool::new(false)),
+            ],
+            dispatch: Mutex::new(DispatchState {
+                seq: 0,
+                job: None,
+                shutdown: false,
+            }),
+            dispatch_cv: Condvar::new(),
+            remaining: Mutex::new(0),
+            remaining_cv: Condvar::new(),
+            panic_payload: Mutex::new(None),
+            critical: Mutex::new(()),
+            reduce_slot: Mutex::new(None),
+        });
+        let handles = (1..config.threads)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pram-worker-{id}"))
+                    .spawn(move || worker_loop(&shared, id))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool {
+            shared,
+            handles,
+            region_guard: Mutex::new(()),
+        }
+    }
+
+    /// Team size (including the caller's thread).
+    pub fn num_threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Execute `f` on every team member — enter a parallel region.
+    ///
+    /// Blocks until all members have returned from `f`. `f` runs with
+    /// `thread_id() == 0` on the calling thread itself. Regions do not
+    /// nest: calling `run` from inside a region deadlocks (the region guard
+    /// is held), exactly like re-entering a non-nested OpenMP runtime.
+    pub fn run<F>(&self, f: F)
+    where
+        F: Fn(&WorkerCtx<'_>) + Sync,
+    {
+        let _region = self.region_guard.lock();
+        assert!(
+            !self.shared.barrier.is_poisoned(),
+            "thread pool poisoned by an earlier panic; create a fresh pool"
+        );
+
+        // Publish the job. The pointee `f` lives until the completion wait
+        // below returns, upholding RawJob's safety contract.
+        let job: &JobFn<'_> = &f;
+        // SAFETY: lifetime erasure only; see RawJob.
+        let raw = RawJob(unsafe {
+            std::mem::transmute::<*const JobFn<'_>, *const JobFn<'static>>(job as *const _)
+        });
+        *self.shared.remaining.lock() = self.shared.threads - 1;
+        {
+            let mut st = self.shared.dispatch.lock();
+            st.seq += 1;
+            st.job = Some(raw);
+            self.shared.dispatch_cv.notify_all();
+        }
+
+        // Participate as member 0.
+        let ctx = WorkerCtx {
+            shared: &self.shared,
+            id: 0,
+        };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(&ctx))) {
+            self.shared.barrier.poison();
+            self.shared.panic_payload.lock().get_or_insert(payload);
+        }
+
+        // Wait for the rest of the team.
+        {
+            let mut rem = self.shared.remaining.lock();
+            while *rem > 0 {
+                self.shared.remaining_cv.wait(&mut rem);
+            }
+        }
+
+        if let Some(payload) = self.shared.panic_payload.lock().take() {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.dispatch.lock();
+            st.shutdown = true;
+            self.shared.dispatch_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            // A worker that panicked already delivered its payload via
+            // `run`; ignore the join error to keep drop non-panicking.
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, id: usize) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.dispatch.lock();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.seq > seen {
+                    seen = st.seq;
+                    break st.job.as_ref().expect("job published with seq").clone();
+                }
+                shared.dispatch_cv.wait(&mut st);
+            }
+        };
+        let ctx = WorkerCtx { shared, id };
+        // SAFETY: `run` keeps the pointee alive until all workers complete.
+        let res = catch_unwind(AssertUnwindSafe(|| unsafe { (&*job.0)(&ctx) }));
+        if let Err(payload) = res {
+            shared.barrier.poison();
+            shared.panic_payload.lock().get_or_insert(payload);
+        }
+        let mut rem = shared.remaining.lock();
+        *rem -= 1;
+        if *rem == 0 {
+            shared.remaining_cv.notify_all();
+        }
+    }
+}
+
+/// Result of [`WorkerCtx::converge_rounds`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Convergence {
+    /// Rounds executed (≥ 1 unless `max_rounds == 0`).
+    pub rounds: u32,
+    /// `true` if the last executed round reported no change.
+    pub converged: bool,
+}
+
+/// Vote handle threads use inside [`WorkerCtx::converge_rounds`] to report
+/// that the current round made progress (the paper's `done = false`).
+#[derive(Debug)]
+pub struct ChangedFlag<'a> {
+    flag: &'a AtomicBool,
+}
+
+impl ChangedFlag<'_> {
+    /// Record that this round changed something (idempotent; `Relaxed` —
+    /// the closing barrier publishes it).
+    #[inline]
+    pub fn set(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Current (racy, advisory) view of the flag; authoritative only after
+    /// the round's closing barrier.
+    #[inline]
+    pub fn is_set(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// A team member's view of the current parallel region.
+pub struct WorkerCtx<'p> {
+    shared: &'p PoolShared,
+    id: usize,
+}
+
+impl WorkerCtx<'_> {
+    /// This member's id in `0..num_threads()` (caller thread = 0).
+    #[inline]
+    pub fn thread_id(&self) -> usize {
+        self.id
+    }
+
+    /// Team size.
+    #[inline]
+    pub fn num_threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Team-wide barrier. Returns `true` on the releasing member.
+    ///
+    /// This is the "synchronization point" the paper requires between a
+    /// concurrent-write round and dependent reads.
+    #[inline]
+    pub fn barrier(&self) -> bool {
+        self.shared.barrier.wait()
+    }
+
+    /// Barrier whose releasing member runs `f` before releasing — the
+    /// race-free slot for re-arming shared per-round state (e.g. a
+    /// gatekeeper array's reset pass, when done serially).
+    #[inline]
+    pub fn barrier_with(&self, f: impl FnOnce()) -> bool {
+        self.shared.barrier.wait_with(f)
+    }
+
+    /// Worksharing loop over `range` with the implicit ending barrier
+    /// (OpenMP `#pragma omp for`). Every team member must call this with
+    /// the same range and schedule; each index is executed exactly once by
+    /// exactly one member.
+    pub fn for_each(&self, range: Range<usize>, schedule: Schedule, f: impl Fn(usize)) {
+        self.for_each_nowait(range, schedule, f);
+        self.barrier();
+    }
+
+    /// [`WorkerCtx::for_each`] without the ending barrier (`nowait`).
+    ///
+    /// Dynamic and guided schedules still synchronize once at loop *entry*
+    /// (the shared cursor must be reset by a full rendezvous); static
+    /// schedules are entirely synchronization-free.
+    pub fn for_each_nowait(&self, range: Range<usize>, schedule: Schedule, f: impl Fn(usize)) {
+        let base = range.start;
+        let len = range.end.saturating_sub(range.start);
+        match schedule {
+            Schedule::Static { chunk: None } => {
+                for i in static_block(len, self.shared.threads, self.id) {
+                    f(base + i);
+                }
+            }
+            Schedule::Static { chunk: Some(c) } => {
+                for r in static_chunks(len, self.shared.threads, c, self.id) {
+                    for i in r {
+                        f(base + i);
+                    }
+                }
+            }
+            Schedule::Dynamic { chunk } => {
+                let chunk = chunk.max(1);
+                let cursor = &self.shared.cursor;
+                self.barrier_with(|| cursor.store(0, Ordering::Relaxed));
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(len) {
+                        f(base + i);
+                    }
+                }
+            }
+            Schedule::Guided { min_chunk } => {
+                let cursor = &self.shared.cursor;
+                self.barrier_with(|| cursor.store(0, Ordering::Relaxed));
+                loop {
+                    let cur = cursor.load(Ordering::Relaxed);
+                    if cur >= len {
+                        break;
+                    }
+                    let take = guided_grab(len - cur, self.shared.threads, min_chunk);
+                    if cursor
+                        .compare_exchange_weak(cur, cur + take, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        for i in cur..cur + take {
+                            f(base + i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Worksharing over a rectangular 2-D index space (OpenMP
+    /// `collapse(2)`, as the paper's Figure 4 pair loop uses): iterates
+    /// `f(i, j)` for all `i < rows`, `j < cols`, partitioned by `schedule`
+    /// over the flattened space, with the implicit ending barrier.
+    pub fn for_each_2d(
+        &self,
+        rows: usize,
+        cols: usize,
+        schedule: Schedule,
+        f: impl Fn(usize, usize),
+    ) {
+        let total = rows.checked_mul(cols).expect("2-D index space overflows");
+        self.for_each(0..total, schedule, |flat| f(flat / cols, flat % cols));
+    }
+
+    /// Run `f` on member 0 only (OpenMP `master`); no synchronization.
+    pub fn master(&self, f: impl FnOnce()) {
+        if self.id == 0 {
+            f();
+        }
+    }
+
+    /// Run `f` under the team-wide critical-section lock
+    /// (`#pragma omp critical`).
+    pub fn critical<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _g = self.shared.critical.lock();
+        f()
+    }
+
+    /// Team-wide reduction (`#pragma omp ... reduction(op: var)`): every
+    /// member contributes `value`; all members receive the combined result.
+    ///
+    /// `combine` must be associative and commutative (contribution order is
+    /// scheduling-dependent). Every member must call this at the same
+    /// point. Cost: three barriers plus one short critical section per
+    /// member — intended for per-phase results (a max, a count), not inner
+    /// loops.
+    pub fn reduce<T, F>(&self, value: T, combine: F) -> T
+    where
+        T: Send + Clone + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let slot = &self.shared.reduce_slot;
+        self.barrier_with(|| *slot.lock() = None);
+        {
+            let mut acc = slot.lock();
+            *acc = Some(match acc.take() {
+                None => Box::new(value),
+                Some(prev) => {
+                    let prev = *prev.downcast::<T>().expect("mixed reduce types in one call");
+                    Box::new(combine(prev, value))
+                }
+            });
+        }
+        self.barrier();
+        let result = slot
+            .lock()
+            .as_ref()
+            .and_then(|b| b.downcast_ref::<T>())
+            .expect("reduction accumulator populated by all members")
+            .clone();
+        // Third barrier: nobody may reset the slot (e.g. by entering the
+        // next reduce) until every member has cloned the result.
+        self.barrier();
+        result
+    }
+
+    /// The lock-step convergence loop of the paper's BFS and CC kernels
+    /// (`while (!done) { done = true; … parallel writes may clear done …
+    /// barrier }`), with rounds supplied automatically.
+    ///
+    /// Every team member must call this at the same point with the same
+    /// `max_rounds`. Per round `i`, the body runs with
+    /// `Round::from_iteration(i)` — fresh per round, satisfying CAS-LT's
+    /// round discipline — and a [`ChangedFlag`]; barriers bound the round
+    /// on both sides, providing the synchronization point before dependent
+    /// reads *and* the happens-before edge that makes
+    /// [`pram_core::ConVec::write_with`]'s contract hold. The loop exits
+    /// after the first round in which no member set the flag, or after
+    /// `max_rounds`.
+    ///
+    /// Not nestable (it owns the pool's convergence flags).
+    pub fn converge_rounds(
+        &self,
+        max_rounds: u32,
+        mut body: impl FnMut(Round, &ChangedFlag<'_>),
+    ) -> Convergence {
+        let mut executed = 0;
+        let mut converged = false;
+        for i in 0..max_rounds {
+            let slot = &*self.shared.changed[(i % 2) as usize];
+            // Slot reuse is race-free: round i's reset happens at a barrier
+            // every member reaches only after reading slot (i-2)%2 == i%2
+            // at the end of round i-2, two barriers ago.
+            self.barrier_with(|| slot.store(false, Ordering::Relaxed));
+            let flag = ChangedFlag { flag: slot };
+            body(Round::from_iteration(i), &flag);
+            self.barrier();
+            executed = i + 1;
+            if !slot.load(Ordering::Relaxed) {
+                converged = true;
+                break;
+            }
+        }
+        Convergence {
+            rounds: executed,
+            converged,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let hits = AtomicU64::new(0);
+        pool.run(|ctx| {
+            assert_eq!(ctx.thread_id(), 0);
+            assert_eq!(ctx.num_threads(), 1);
+            hits.fetch_add(1, Ordering::Relaxed);
+            ctx.barrier();
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn all_members_execute_the_region() {
+        let pool = ThreadPool::new(4);
+        let mask = AtomicUsize::new(0);
+        pool.run(|ctx| {
+            mask.fetch_or(1 << ctx.thread_id(), Ordering::Relaxed);
+        });
+        assert_eq!(mask.load(Ordering::Relaxed), 0b1111);
+    }
+
+    #[test]
+    fn regions_are_reusable() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..20 {
+            pool.run(|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 60);
+    }
+
+    fn check_for_each(threads: usize, len: usize, schedule: Schedule) {
+        let pool = ThreadPool::new(threads);
+        let counts: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|ctx| {
+            ctx.for_each(0..len, schedule, |i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} under {schedule:?}");
+        }
+    }
+
+    #[test]
+    fn for_each_static_blocked_covers_exactly_once() {
+        check_for_each(4, 103, Schedule::Static { chunk: None });
+    }
+
+    #[test]
+    fn for_each_static_chunked_covers_exactly_once() {
+        check_for_each(3, 100, Schedule::Static { chunk: Some(7) });
+    }
+
+    #[test]
+    fn for_each_dynamic_covers_exactly_once() {
+        check_for_each(4, 101, Schedule::Dynamic { chunk: 3 });
+    }
+
+    #[test]
+    fn for_each_guided_covers_exactly_once() {
+        check_for_each(4, 257, Schedule::Guided { min_chunk: 2 });
+    }
+
+    #[test]
+    fn for_each_empty_and_offset_ranges() {
+        let pool = ThreadPool::new(2);
+        let sum = AtomicU64::new(0);
+        pool.run(|ctx| {
+            ctx.for_each(10..10, Schedule::default(), |_| unreachable!());
+            ctx.for_each(5..10, Schedule::dynamic(), |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5 + 6 + 7 + 8 + 9);
+    }
+
+    #[test]
+    fn sequential_loops_see_previous_results() {
+        // The implicit barrier makes loop 2 observe all of loop 1.
+        let pool = ThreadPool::new(4);
+        let a: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        let b: Vec<AtomicU64> = (0..64).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|ctx| {
+            ctx.for_each(0..64, Schedule::default(), |i| {
+                a[i].store(i as u64 + 1, Ordering::Relaxed);
+            });
+            ctx.for_each(0..64, Schedule::default(), |i| {
+                // Read a[63-i], written (possibly) by another member.
+                b[i].store(a[63 - i].load(Ordering::Relaxed), Ordering::Relaxed);
+            });
+        });
+        for (i, slot) in b.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::Relaxed), (63 - i) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn converge_rounds_runs_expected_rounds() {
+        let pool = ThreadPool::new(4);
+        let work = AtomicU64::new(0);
+        pool.run(|ctx| {
+            // Change for 5 rounds, then stabilize.
+            let c = ctx.converge_rounds(100, |round, flag| {
+                ctx.master(|| {
+                    work.fetch_add(1, Ordering::Relaxed);
+                });
+                if round.get() <= 5 {
+                    flag.set();
+                }
+                ctx.barrier();
+            });
+            assert_eq!(c.rounds, 6); // rounds 1..=5 changed, round 6 didn't
+            assert!(c.converged);
+        });
+        assert_eq!(work.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn converge_rounds_respects_max() {
+        let pool = ThreadPool::new(2);
+        pool.run(|ctx| {
+            let c = ctx.converge_rounds(3, |_round, flag| {
+                flag.set(); // never converges
+            });
+            assert_eq!(c.rounds, 3);
+            assert!(!c.converged);
+        });
+    }
+
+    #[test]
+    fn converge_rounds_zero_max() {
+        let pool = ThreadPool::new(2);
+        pool.run(|ctx| {
+            let c = ctx.converge_rounds(0, |_, _| unreachable!());
+            assert_eq!(c.rounds, 0);
+            assert!(!c.converged);
+        });
+    }
+
+    #[test]
+    fn rounds_are_distinct_and_increasing() {
+        let pool = ThreadPool::new(3);
+        let seen = Mutex::new(Vec::new());
+        pool.run(|ctx| {
+            ctx.converge_rounds(10, |round, flag| {
+                ctx.master(|| seen.lock().push(round.get()));
+                if round.get() < 4 {
+                    flag.set();
+                }
+                ctx.barrier();
+            });
+        });
+        assert_eq!(*seen.lock(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn critical_is_mutually_exclusive() {
+        let pool = ThreadPool::new(4);
+        struct RacyCell(std::cell::UnsafeCell<u64>);
+        // SAFETY (test): all access goes through ctx.critical.
+        unsafe impl Sync for RacyCell {}
+        let cell = RacyCell(std::cell::UnsafeCell::new(0));
+        pool.run(|ctx| {
+            let cell: &RacyCell = &cell; // capture the Sync wrapper whole
+            for _ in 0..1000 {
+                ctx.critical(|| {
+                    // SAFETY: the critical section serializes access.
+                    unsafe { *cell.0.get() += 1 };
+                });
+            }
+        });
+        assert_eq!(cell.0.into_inner(), 4000);
+    }
+
+    #[test]
+    fn master_runs_once() {
+        let pool = ThreadPool::new(4);
+        let n = AtomicU64::new(0);
+        pool.run(|ctx| {
+            ctx.master(|| {
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn for_each_2d_covers_the_rectangle_exactly_once() {
+        let (rows, cols) = (13, 7);
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicU64> = (0..rows * cols).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|ctx| {
+            ctx.for_each_2d(rows, cols, Schedule::Dynamic { chunk: 5 }, |i, j| {
+                assert!(i < rows && j < cols);
+                hits[i * cols + j].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn for_each_2d_degenerate_dimensions() {
+        let pool = ThreadPool::new(2);
+        pool.run(|ctx| {
+            ctx.for_each_2d(0, 5, Schedule::default(), |_, _| unreachable!());
+            ctx.for_each_2d(5, 0, Schedule::default(), |_, _| unreachable!());
+        });
+    }
+
+    #[test]
+    fn reduce_combines_every_member_once() {
+        let pool = ThreadPool::new(4);
+        let sums = Mutex::new(Vec::new());
+        pool.run(|ctx| {
+            let local = (ctx.thread_id() + 1) as u64;
+            let total = ctx.reduce(local, |a, b| a + b);
+            sums.lock().push(total);
+        });
+        assert_eq!(*sums.lock(), vec![10, 10, 10, 10]);
+    }
+
+    #[test]
+    fn reduce_supports_non_numeric_payloads() {
+        let pool = ThreadPool::new(3);
+        pool.run(|ctx| {
+            let mine = vec![ctx.thread_id()];
+            let mut all = ctx.reduce(mine, |mut a, b| {
+                a.extend(b);
+                a
+            });
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2]);
+        });
+    }
+
+    #[test]
+    fn consecutive_reduces_do_not_bleed() {
+        let pool = ThreadPool::new(4);
+        pool.run(|ctx| {
+            for k in 1u64..=10 {
+                let total = ctx.reduce(k, |a, b| a + b);
+                assert_eq!(total, 4 * k);
+                let min = ctx.reduce(ctx.thread_id() as u64 + k, |a, b| a.min(b));
+                assert_eq!(min, k);
+            }
+        });
+    }
+
+    #[test]
+    fn reduce_single_member_is_identity() {
+        let pool = ThreadPool::new(1);
+        pool.run(|ctx| {
+            assert_eq!(ctx.reduce(41u32, |a, b| a + b), 41);
+        });
+    }
+
+    #[test]
+    fn panic_in_region_propagates_and_poisons() {
+        let pool = ThreadPool::new(4);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                if ctx.thread_id() == 1 {
+                    panic!("boom in worker");
+                }
+                // Other members head to a barrier that will be poisoned.
+                ctx.barrier();
+            });
+        }));
+        assert!(r.is_err());
+        // The pool is now unusable.
+        let r2 = catch_unwind(AssertUnwindSafe(|| pool.run(|_| {})));
+        assert!(r2.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_thread_pool_rejected() {
+        let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn oversubscribed_team_still_correct() {
+        // More threads than this machine plausibly has cores.
+        let pool = ThreadPool::new(16);
+        let sum = AtomicU64::new(0);
+        pool.run(|ctx| {
+            ctx.for_each(0..10_000, Schedule::default(), |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            ctx.barrier();
+            ctx.for_each(0..100, Schedule::dynamic(), |_| {});
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10_000 * 9_999 / 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! Loop scheduling policies — the `schedule(...)` clause of OpenMP `for`.
+//!
+//! [`Schedule`] selects how [`crate::WorkerCtx::for_each`] partitions an
+//! index space across the team:
+//!
+//! * **Static** — indices are partitioned up front, no shared state, no
+//!   atomics. With no chunk size, each thread gets one contiguous block
+//!   (OpenMP's default); with a chunk size, chunks are dealt round-robin.
+//!   The paper's kernels all use OpenMP's default static schedule.
+//! * **Dynamic** — threads repeatedly grab the next `chunk` indices from a
+//!   shared cursor. Load-balances irregular iterations (e.g. BFS frontier
+//!   expansion over skewed degree distributions) at the cost of one atomic
+//!   RMW per chunk.
+//! * **Guided** — like dynamic, but the grabbed chunk shrinks as the loop
+//!   drains (`remaining / 2T`, floored at `min_chunk`), amortizing the
+//!   atomic over big early chunks while keeping tail balance.
+//!
+//! The pure partitioning arithmetic lives here, separately testable; the
+//! shared-cursor choreography lives in [`crate::pool`].
+
+use std::ops::Range;
+
+/// Loop scheduling policy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Compile-time partitioning; `chunk: None` = one block per thread.
+    Static {
+        /// Round-robin chunk size, or `None` for blocked partitioning.
+        chunk: Option<usize>,
+    },
+    /// Shared-cursor chunking with a fixed grab size.
+    Dynamic {
+        /// Indices grabbed per atomic operation (≥ 1).
+        chunk: usize,
+    },
+    /// Shared-cursor chunking with geometrically shrinking grabs.
+    Guided {
+        /// Smallest grab size (≥ 1).
+        min_chunk: usize,
+    },
+}
+
+impl Default for Schedule {
+    /// OpenMP's default: blocked static.
+    fn default() -> Schedule {
+        Schedule::Static { chunk: None }
+    }
+}
+
+impl Schedule {
+    /// Dynamic with chunk 1 — the maximally balanced, maximally contended
+    /// extreme; useful in tests.
+    pub fn dynamic() -> Schedule {
+        Schedule::Dynamic { chunk: 1 }
+    }
+
+    /// Guided with min chunk 1.
+    pub fn guided() -> Schedule {
+        Schedule::Guided { min_chunk: 1 }
+    }
+}
+
+/// The contiguous block thread `tid` of `threads` owns under blocked-static
+/// scheduling of `len` indices: the first `len % threads` threads get one
+/// extra index.
+pub fn static_block(len: usize, threads: usize, tid: usize) -> Range<usize> {
+    debug_assert!(tid < threads);
+    let base = len / threads;
+    let extra = len % threads;
+    let start = tid * base + tid.min(extra);
+    let size = base + usize::from(tid < extra);
+    start..start + size
+}
+
+/// Iterator over the chunks thread `tid` owns under round-robin static
+/// scheduling with the given chunk size.
+pub fn static_chunks(
+    len: usize,
+    threads: usize,
+    chunk: usize,
+    tid: usize,
+) -> impl Iterator<Item = Range<usize>> {
+    debug_assert!(tid < threads);
+    assert!(chunk >= 1, "static chunk size must be >= 1");
+    let stride = chunk
+        .checked_mul(threads)
+        .expect("chunk * threads overflowed");
+    (0..)
+        .map(move |k| {
+            let start = k * stride + tid * chunk;
+            start..(start + chunk).min(len)
+        })
+        .take_while(move |r| r.start < len)
+}
+
+/// Next grab size for guided scheduling: `remaining / (2 * threads)`,
+/// clamped to `[min_chunk, remaining]`.
+pub fn guided_grab(remaining: usize, threads: usize, min_chunk: usize) -> usize {
+    debug_assert!(remaining > 0);
+    (remaining / (2 * threads.max(1)))
+        .max(min_chunk.max(1))
+        .min(remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_partition(pieces: Vec<Range<usize>>, len: usize) {
+        let mut seen = vec![false; len];
+        for r in pieces {
+            for i in r {
+                assert!(!seen[i], "index {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some index unassigned");
+    }
+
+    #[test]
+    fn static_block_is_a_partition() {
+        for &(len, threads) in &[(0, 1), (1, 4), (10, 3), (100, 7), (5, 8), (64, 64)] {
+            let pieces = (0..threads).map(|t| static_block(len, threads, t)).collect();
+            assert_partition(pieces, len);
+        }
+    }
+
+    #[test]
+    fn static_block_is_balanced() {
+        let sizes: Vec<usize> = (0..7).map(|t| static_block(100, 7, t).len()).collect();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 1, "imbalance: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn static_chunks_is_a_partition() {
+        for &(len, threads, chunk) in &[(0, 2, 3), (10, 3, 2), (100, 4, 7), (9, 2, 100), (16, 4, 4)]
+        {
+            let pieces = (0..threads)
+                .flat_map(|t| static_chunks(len, threads, chunk, t))
+                .collect();
+            assert_partition(pieces, len);
+        }
+    }
+
+    #[test]
+    fn static_chunks_round_robin_order() {
+        // threads=2, chunk=2, len=10: thread 0 owns [0,2),[4,6),[8,10).
+        let t0: Vec<_> = static_chunks(10, 2, 2, 0).collect();
+        assert_eq!(t0, vec![0..2, 4..6, 8..10]);
+        let t1: Vec<_> = static_chunks(10, 2, 2, 1).collect();
+        assert_eq!(t1, vec![2..4, 6..8]);
+    }
+
+    #[test]
+    fn guided_grab_shrinks_and_respects_bounds() {
+        let mut remaining = 1000usize;
+        let mut grabs = vec![];
+        while remaining > 0 {
+            let g = guided_grab(remaining, 4, 3);
+            assert!(g >= 1 && g <= remaining);
+            grabs.push(g);
+            remaining -= g;
+        }
+        assert_eq!(grabs.iter().sum::<usize>(), 1000);
+        // Monotone non-increasing until the min_chunk floor.
+        for w in grabs.windows(2) {
+            assert!(w[1] <= w[0].max(3));
+        }
+        assert_eq!(*grabs.last().unwrap(), grabs.last().copied().unwrap());
+        assert!(grabs.last().copied().unwrap() <= 3);
+    }
+
+    #[test]
+    fn guided_grab_edge_cases() {
+        assert_eq!(guided_grab(1, 8, 1), 1);
+        assert_eq!(guided_grab(5, 1, 10), 5); // min_chunk larger than rest
+        assert_eq!(guided_grab(100, 0, 1), 50); // degenerate team treated as 1
+    }
+
+    #[test]
+    fn default_is_blocked_static() {
+        assert_eq!(Schedule::default(), Schedule::Static { chunk: None });
+        assert_eq!(Schedule::dynamic(), Schedule::Dynamic { chunk: 1 });
+        assert_eq!(Schedule::guided(), Schedule::Guided { min_chunk: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be")]
+    fn zero_static_chunk_rejected() {
+        let _ = static_chunks(10, 2, 0, 0).count();
+    }
+}

@@ -1,0 +1,230 @@
+//! Compressed sparse row adjacency — the Rodinia BFS memory layout.
+//!
+//! The paper's Figure 3 declares `unsigned V[N]` (index of each vertex's
+//! first edge) and `unsigned E[M]` (destination vertex ids); [`CsrGraph`]
+//! is exactly that pair, with the conventional `N + 1` offsets so
+//! `neighbors(v)` is a single slice.
+
+/// A graph in CSR form. Vertex ids are `u32`; an undirected graph stores
+/// both directions of every edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` for vertex `v`.
+    offsets: Box<[usize]>,
+    /// Flat destination array (the paper's `E`).
+    targets: Box<[u32]>,
+}
+
+impl CsrGraph {
+    /// Build from an edge list by counting sort — O(n + m), no comparison
+    /// sort.
+    ///
+    /// With `undirected = true` each input pair `(u, v)` is inserted in
+    /// both directions (self-loops once). Duplicate edges are kept: the
+    /// uniform generator produces multigraphs, as random-graph benchmark
+    /// generators conventionally do.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)], undirected: bool) -> CsrGraph {
+        assert!(n <= u32::MAX as usize, "vertex ids are u32");
+        let mut degree = vec![0usize; n];
+        let mut half_edges = 0usize;
+        for &(u, v) in edges {
+            let (u, v) = (u as usize, v as usize);
+            assert!(u < n && v < n, "edge ({u}, {v}) out of range for n = {n}");
+            degree[u] += 1;
+            half_edges += 1;
+            if undirected && u != v {
+                degree[v] += 1;
+                half_edges += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        debug_assert_eq!(acc, half_edges);
+
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; half_edges];
+        for &(u, v) in edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            if undirected && u != v {
+                targets[cursor[v as usize]] = u;
+                cursor[v as usize] += 1;
+            }
+        }
+        CsrGraph {
+            offsets: offsets.into_boxed_slice(),
+            targets: targets.into_boxed_slice(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored directed edges (2× the undirected edge count,
+    /// except self-loops which are stored once).
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The neighbors of `v` (with multiplicity).
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// The raw offsets array (`n + 1` entries) — the paper's `V`.
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw targets array — the paper's `E`.
+    #[inline]
+    pub fn targets(&self) -> &[u32] {
+        &self.targets
+    }
+
+    /// Iterate all stored directed edges as `(src, dst)`.
+    pub fn directed_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            self.neighbors(u as u32)
+                .iter()
+                .map(move |&v| (u as u32, v))
+        })
+    }
+
+    /// Sort each adjacency list and drop duplicate neighbors (keeps one
+    /// self-loop if present). Returns a new graph.
+    pub fn simplified(&self) -> CsrGraph {
+        let n = self.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(self.targets.len());
+        offsets.push(0);
+        for v in 0..n {
+            let mut adj: Vec<u32> = self.neighbors(v as u32).to_vec();
+            adj.sort_unstable();
+            adj.dedup();
+            targets.extend_from_slice(&adj);
+            offsets.push(targets.len());
+        }
+        CsrGraph {
+            offsets: offsets.into_boxed_slice(),
+            targets: targets.into_boxed_slice(),
+        }
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_directed_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as u32))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_undirected_with_both_directions() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 3)], true);
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_directed_edges(), 6);
+        let mut n0: Vec<u32> = g.neighbors(0).to_vec();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 3]);
+        assert_eq!(g.neighbors(2), &[1]);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn builds_directed_when_requested() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)], false);
+        assert_eq!(g.num_directed_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert!(g.neighbors(1).contains(&2));
+        assert!(g.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn self_loops_stored_once_even_undirected() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1)], true);
+        assert_eq!(g.neighbors(0).iter().filter(|&&t| t == 0).count(), 1);
+        assert_eq!(g.num_directed_edges(), 3);
+    }
+
+    #[test]
+    fn duplicate_edges_kept_then_simplified() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 1), (1, 2)], true);
+        assert_eq!(g.degree(0), 2);
+        let s = g.simplified();
+        assert_eq!(s.degree(0), 1);
+        assert_eq!(s.neighbors(1), &[0, 2]);
+    }
+
+    #[test]
+    fn directed_edges_iterator_roundtrips() {
+        let edges = [(0u32, 1u32), (1, 2), (2, 0)];
+        let g = CsrGraph::from_edges(3, &edges, true);
+        let all: Vec<(u32, u32)> = g.directed_edges().collect();
+        assert_eq!(all.len(), 6);
+        for &(u, v) in &edges {
+            assert!(all.contains(&(u, v)));
+            assert!(all.contains(&(v, u)));
+        }
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let g = CsrGraph::from_edges(0, &[], true);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+
+        let g = CsrGraph::from_edges(5, &[], true);
+        assert_eq!(g.num_directed_edges(), 0);
+        assert!(g.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn degree_stats() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)], true);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.mean_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_endpoint() {
+        let _ = CsrGraph::from_edges(2, &[(0, 5)], true);
+    }
+}

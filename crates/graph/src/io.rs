@@ -1,0 +1,144 @@
+//! Plain-text edge-list persistence, so benchmark workloads can be saved
+//! and replayed byte-identically.
+//!
+//! Format: a header line `p <num_vertices> <num_edges>`, then one
+//! `<u> <v>` pair per line. Lines starting with `#` are comments.
+
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read};
+
+/// Serialize `n` vertices and `edges` to the text format.
+pub fn to_edge_list_string(n: usize, edges: &[(u32, u32)]) -> String {
+    let mut out = String::with_capacity(16 + edges.len() * 12);
+    let _ = writeln!(out, "p {n} {}", edges.len());
+    for &(u, v) in edges {
+        let _ = writeln!(out, "{u} {v}");
+    }
+    out
+}
+
+/// Error from [`parse_edge_list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// No `p` header line before the first edge.
+    MissingHeader,
+    /// A line that is neither a comment, the header, nor a `u v` pair.
+    BadLine(usize),
+    /// An endpoint ≥ the declared vertex count.
+    EndpointOutOfRange {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::MissingHeader => write!(f, "missing 'p <n> <m>' header"),
+            ParseError::BadLine(l) => write!(f, "malformed line {l}"),
+            ParseError::EndpointOutOfRange { line } => {
+                write!(f, "edge endpoint out of range at line {line}")
+            }
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the text format back to `(num_vertices, edges)`.
+pub fn parse_edge_list(reader: impl Read) -> Result<(usize, Vec<(u32, u32)>), ParseError> {
+    let mut n: Option<usize> = None;
+    let mut edges = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| ParseError::Io(e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_ascii_whitespace();
+        match parts.next() {
+            Some("p") => {
+                let nv: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::BadLine(lineno))?;
+                let _m: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::BadLine(lineno))?;
+                n = Some(nv);
+            }
+            Some(tok) => {
+                let n = n.ok_or(ParseError::MissingHeader)?;
+                let u: u32 = tok.parse().map_err(|_| ParseError::BadLine(lineno))?;
+                let v: u32 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::BadLine(lineno))?;
+                if u as usize >= n || v as usize >= n {
+                    return Err(ParseError::EndpointOutOfRange { line: lineno });
+                }
+                edges.push((u, v));
+            }
+            None => unreachable!("empty lines filtered above"),
+        }
+    }
+    Ok((n.ok_or(ParseError::MissingHeader)?, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 0)];
+        let s = to_edge_list_string(3, &edges);
+        let (n, parsed) = parse_edge_list(s.as_bytes()).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(parsed, edges);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let s = "# a comment\n\np 2 1\n# another\n0 1\n";
+        let (n, e) = parse_edge_list(s.as_bytes()).unwrap();
+        assert_eq!((n, e), (2, vec![(0, 1)]));
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(
+            parse_edge_list("0 1\n".as_bytes()).unwrap_err(),
+            ParseError::MissingHeader
+        );
+        assert_eq!(
+            parse_edge_list("".as_bytes()).unwrap_err(),
+            ParseError::MissingHeader
+        );
+    }
+
+    #[test]
+    fn bad_lines_rejected_with_position() {
+        assert_eq!(
+            parse_edge_list("p 2 1\n0 x\n".as_bytes()).unwrap_err(),
+            ParseError::BadLine(2)
+        );
+        assert_eq!(
+            parse_edge_list("p nope 1\n".as_bytes()).unwrap_err(),
+            ParseError::BadLine(1)
+        );
+    }
+
+    #[test]
+    fn out_of_range_endpoint_rejected() {
+        assert_eq!(
+            parse_edge_list("p 2 1\n0 5\n".as_bytes()).unwrap_err(),
+            ParseError::EndpointOutOfRange { line: 2 }
+        );
+    }
+}

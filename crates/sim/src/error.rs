@@ -1,0 +1,116 @@
+//! Errors the ideal machine raises — each is a *model violation*, the
+//! formal counterpart of the paper's "the algorithm fails".
+
+use std::fmt;
+
+/// A PRAM access-mode or rule violation detected during a step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PramError {
+    /// Two processors read the same cell under EREW.
+    ReadConflict {
+        /// The contested address.
+        addr: usize,
+        /// The two (first detected) conflicting processor ids.
+        pids: (usize, usize),
+    },
+    /// Two processors wrote the same cell under an exclusive-write mode
+    /// (EREW or CREW).
+    WriteConflict {
+        /// The contested address.
+        addr: usize,
+        /// The two (first detected) conflicting processor ids.
+        pids: (usize, usize),
+    },
+    /// Under the Common rule, two processors wrote *different* values to
+    /// the same cell in the same step.
+    CommonViolation {
+        /// The contested address.
+        addr: usize,
+        /// The two differing values.
+        values: (i64, i64),
+    },
+    /// A processor issued one step's second write to the same cell —
+    /// ill-formed under every rule (a processor is one instruction per
+    /// step).
+    DuplicateWrite {
+        /// The address written twice.
+        addr: usize,
+        /// The offending processor.
+        pid: usize,
+    },
+    /// Memory access out of bounds.
+    OutOfBounds {
+        /// The offending address.
+        addr: usize,
+        /// Memory size.
+        len: usize,
+    },
+}
+
+impl fmt::Display for PramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PramError::ReadConflict { addr, pids } => write!(
+                f,
+                "EREW read conflict at cell {addr}: processors {} and {}",
+                pids.0, pids.1
+            ),
+            PramError::WriteConflict { addr, pids } => write!(
+                f,
+                "exclusive-write conflict at cell {addr}: processors {} and {}",
+                pids.0, pids.1
+            ),
+            PramError::CommonViolation { addr, values } => write!(
+                f,
+                "Common-CRCW violation at cell {addr}: values {} and {} differ",
+                values.0, values.1
+            ),
+            PramError::DuplicateWrite { addr, pid } => write!(
+                f,
+                "processor {pid} wrote cell {addr} twice within one step"
+            ),
+            PramError::OutOfBounds { addr, len } => {
+                write!(f, "address {addr} out of bounds (memory size {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(PramError, &str)> = vec![
+            (
+                PramError::ReadConflict {
+                    addr: 3,
+                    pids: (1, 2),
+                },
+                "read conflict",
+            ),
+            (
+                PramError::WriteConflict {
+                    addr: 3,
+                    pids: (1, 2),
+                },
+                "write conflict",
+            ),
+            (
+                PramError::CommonViolation {
+                    addr: 0,
+                    values: (1, 2),
+                },
+                "Common-CRCW violation",
+            ),
+            (PramError::DuplicateWrite { addr: 0, pid: 9 }, "twice"),
+            (PramError::OutOfBounds { addr: 10, len: 5 }, "out of bounds"),
+        ];
+        for (e, needle) in cases {
+            assert!(e.to_string().contains(needle), "{e}");
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # pram-sim — an ideal CRCW PRAM reference machine
+//!
+//! The PRAM abstraction the paper implements against real multicores:
+//! unbounded processors over a flat shared memory, executing in lock-step
+//! rounds, with reads preceding writes within a step and a pluggable
+//! write-conflict resolution rule (§2 of the paper). This crate interprets
+//! that abstract machine *exactly* — sequentially, deterministically — so it
+//! can serve as the semantic yardstick for the threaded implementations:
+//!
+//! * **Conformance:** property tests run a kernel on the threaded substrate
+//!   and check the outcome is one the ideal machine could produce.
+//! * **Model checking the model:** the machine *detects* access-mode
+//!   violations. Running an algorithm under [`AccessMode::Erew`] or
+//!   [`AccessMode::Crew`] errors out on the exact step where concurrent
+//!   access occurs — the formal version of the paper's "if a concurrent
+//!   write is attempted in an exclusive write mode, the algorithm fails".
+//! * **Work–depth accounting:** every step updates a [`Trace`] with the
+//!   work/depth metrics the paper's §6 asymptotic analysis is stated in.
+//!
+//! ```
+//! use pram_sim::{AccessMode, Machine, Write, WriteRule};
+//!
+//! // 4 processors all write 1 to cell 0 in one step — a common CW.
+//! let mut m = Machine::new(AccessMode::Crcw(WriteRule::Common), vec![0; 1]);
+//! m.step(4, |_pid, _view| vec![Write::new(0, 1)]).unwrap();
+//! assert_eq!(m.mem()[0], 1);
+//! assert_eq!(m.trace().depth, 1);
+//! assert_eq!(m.trace().work, 4);
+//!
+//! // The same step under CREW is an error, not a wrong answer.
+//! let mut m = Machine::new(AccessMode::Crew, vec![0; 1]);
+//! assert!(m.step(4, |_pid, _view| vec![Write::new(0, 1)]).is_err());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod machine;
+pub mod memory;
+pub mod programs;
+pub mod trace;
+
+pub use error::PramError;
+pub use machine::{AccessMode, ArbitraryPolicy, Machine, StepOutcome, WriteRule};
+pub use memory::{MemView, Write};
+pub use trace::Trace;

@@ -1,0 +1,139 @@
+//! The machine's shared memory view and write operations.
+
+use std::cell::{Cell, RefCell};
+
+/// A single write operation issued by a processor during a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Write {
+    /// Target cell.
+    pub addr: usize,
+    /// Value to store.
+    pub value: i64,
+}
+
+impl Write {
+    /// Construct a write.
+    #[inline]
+    pub fn new(addr: usize, value: i64) -> Write {
+        Write { addr, value }
+    }
+}
+
+/// Read-only view of memory handed to each processor during a step.
+///
+/// All reads observe the memory state **before** the step's writes — the
+/// "reads happen before writes" rule of CRCW PRAM — because writes are
+/// buffered by the machine and committed only after every processor has
+/// run. When the machine runs in EREW mode the view also records which
+/// processor read which cell, so cross-processor read conflicts can be
+/// reported.
+#[derive(Debug)]
+pub struct MemView<'a> {
+    mem: &'a [i64],
+    current_pid: Cell<usize>,
+    /// `Some` only under EREW: (addr → first reading pid) log.
+    read_log: Option<RefCell<Vec<(usize, usize)>>>,
+    /// First out-of-bounds read observed, reported when the step commits
+    /// (reads return 0 rather than panicking so a processor's closure
+    /// stays total).
+    oob: Cell<Option<usize>>,
+}
+
+impl<'a> MemView<'a> {
+    pub(crate) fn new(mem: &'a [i64], track_reads: bool) -> MemView<'a> {
+        MemView {
+            mem,
+            current_pid: Cell::new(0),
+            read_log: track_reads.then(|| RefCell::new(Vec::new())),
+            oob: Cell::new(None),
+        }
+    }
+
+    pub(crate) fn set_pid(&self, pid: usize) {
+        self.current_pid.set(pid);
+    }
+
+    pub(crate) fn take_oob(&self) -> Option<usize> {
+        self.oob.take()
+    }
+
+    pub(crate) fn reads(&self) -> Option<Vec<(usize, usize)>> {
+        self.read_log.as_ref().map(|l| l.borrow().clone())
+    }
+
+    /// Read cell `addr` (pre-step state). Out-of-bounds reads yield 0 and
+    /// flag the step as erroneous.
+    #[inline]
+    pub fn read(&self, addr: usize) -> i64 {
+        if let Some(log) = &self.read_log {
+            log.borrow_mut().push((addr, self.current_pid.get()));
+        }
+        match self.mem.get(addr) {
+            Some(&v) => v,
+            None => {
+                if self.oob.get().is_none() {
+                    self.oob.set(Some(addr));
+                }
+                0
+            }
+        }
+    }
+
+    /// Memory size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// `true` if memory is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+
+    /// The whole pre-step memory (for convenience reads of many cells).
+    #[inline]
+    pub fn snapshot(&self) -> &[i64] {
+        self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_see_prestep_memory() {
+        let mem = vec![10, 20, 30];
+        let v = MemView::new(&mem, false);
+        assert_eq!(v.read(0), 10);
+        assert_eq!(v.read(2), 30);
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert_eq!(v.snapshot(), &[10, 20, 30]);
+    }
+
+    #[test]
+    fn oob_read_yields_zero_and_flags() {
+        let mem = vec![1];
+        let v = MemView::new(&mem, false);
+        assert_eq!(v.read(5), 0);
+        assert_eq!(v.take_oob(), Some(5));
+        assert_eq!(v.take_oob(), None); // taken once
+    }
+
+    #[test]
+    fn read_log_tracks_pids_when_enabled() {
+        let mem = vec![0; 4];
+        let v = MemView::new(&mem, true);
+        v.set_pid(7);
+        v.read(1);
+        v.set_pid(8);
+        v.read(1);
+        assert_eq!(v.reads().unwrap(), vec![(1, 7), (1, 8)]);
+
+        let v2 = MemView::new(&mem, false);
+        v2.read(1);
+        assert!(v2.reads().is_none());
+    }
+}

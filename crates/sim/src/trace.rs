@@ -1,0 +1,75 @@
+//! Work–depth accounting (the W–D model of the paper's §6).
+
+/// Running totals over all executed steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Trace {
+    /// Number of steps executed (the algorithm's depth `D(N)` so far).
+    pub depth: u64,
+    /// Total processor activations (the algorithm's work `W(N)`: each
+    /// processor invoked in a step contributes 1).
+    pub work: u64,
+    /// Total write operations issued (before conflict resolution).
+    pub writes_issued: u64,
+    /// Total writes committed (after conflict resolution).
+    pub writes_committed: u64,
+    /// Steps in which at least one cell had more than one writer.
+    pub steps_with_conflicts: u64,
+    /// Largest number of writers contending for a single cell in any step —
+    /// the paper's worst case is all `P_PRAM(N)` processors on one cell.
+    pub max_writers_per_cell: u64,
+}
+
+impl Trace {
+    /// Brent's theorem bound: the time on `p` physical processors,
+    /// `D + W/p` (paper §6). Returns `None` for `p == 0`.
+    pub fn brent_time(&self, p: u64) -> Option<u64> {
+        (p > 0).then(|| self.depth + self.work.div_ceil(p))
+    }
+
+    pub(crate) fn record_step(
+        &mut self,
+        procs: usize,
+        issued: usize,
+        committed: usize,
+        max_writers: usize,
+    ) {
+        self.depth += 1;
+        self.work += procs as u64;
+        self.writes_issued += issued as u64;
+        self.writes_committed += committed as u64;
+        if max_writers > 1 {
+            self.steps_with_conflicts += 1;
+        }
+        self.max_writers_per_cell = self.max_writers_per_cell.max(max_writers as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting_accumulates() {
+        let mut t = Trace::default();
+        t.record_step(10, 4, 2, 3);
+        t.record_step(5, 1, 1, 1);
+        assert_eq!(t.depth, 2);
+        assert_eq!(t.work, 15);
+        assert_eq!(t.writes_issued, 5);
+        assert_eq!(t.writes_committed, 3);
+        assert_eq!(t.steps_with_conflicts, 1);
+        assert_eq!(t.max_writers_per_cell, 3);
+    }
+
+    #[test]
+    fn brent_bound() {
+        let t = Trace {
+            depth: 3,
+            work: 100,
+            ..Trace::default()
+        };
+        assert_eq!(t.brent_time(4), Some(3 + 25));
+        assert_eq!(t.brent_time(3), Some(3 + 34)); // ceiling division
+        assert_eq!(t.brent_time(0), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! # pram-vm — a lock-step CRCW PRAM virtual machine with two backends
+//!
+//! The paper's introduction names, as an explicit design goal, enabling
+//! "generic compiler approaches to translating high-level representations
+//! of concurrent writes in PRAM-based programming languages" (the ICE
+//! lineage of Ghanim et al. 2018). This crate is that translation target in
+//! miniature: a [`Program`] describes a PRAM algorithm as lock-step steps —
+//! each step a pure function from `(processor id, pre-step memory)` to a
+//! set of writes — and runs **unchanged** on either backend:
+//!
+//! * [`Program::run_on_machine`] — interpret exactly on the `pram-sim`
+//!   ideal machine: one machine step per program step, the chosen conflict
+//!   rule applied symbolically, work–depth accounted, model violations
+//!   (common-value disagreement, out-of-bounds, duplicate writes) reported
+//!   as errors.
+//! * [`Program::run_threaded`] — execute on a real multicore via
+//!   `pram-exec`, preserving PRAM's reads-before-writes semantics by
+//!   **write buffering**: within a step, every processor's reads see the
+//!   pre-step memory (writes are collected into per-thread buffers), and a
+//!   barrier-separated apply phase commits them under the chosen rule —
+//!   arbitrary writes arbitrated by CAS-LT (one claim word per memory
+//!   cell, one fresh round per step, re-armed for free), common writes
+//!   applied naively and *validated* post-commit, priority writes resolved
+//!   by the offer/commit protocol.
+//!
+//! The two backends give the workspace its strongest correctness story:
+//! property tests run random programs on both and compare (exact equality
+//! for deterministic rules; winner-set admissibility for arbitrary).
+//!
+//! ```
+//! use pram_vm::{Program, VmRule, Write};
+//! use pram_exec::ThreadPool;
+//!
+//! // O(1) logical OR: cell i holds bit i; cell n is the result.
+//! let n = 8;
+//! let mut program = Program::new(n + 1);
+//! program.step(n, move |pid, mem| {
+//!     if mem.read(pid) != 0 {
+//!         vec![Write::new(n, 1)] // common concurrent write
+//!     } else {
+//!         vec![]
+//!     }
+//! });
+//!
+//! let mut bits = vec![0i64; n + 1];
+//! bits[3] = 1;
+//!
+//! // Exact, on the ideal machine:
+//! let ideal = program.run_on_machine(VmRule::Common, bits.clone()).unwrap();
+//! // Fast, on real threads:
+//! let pool = ThreadPool::new(4);
+//! let real = program.run_threaded(VmRule::Common, bits, &pool).unwrap();
+//! assert_eq!(ideal.mem, real.mem);
+//! assert_eq!(real.mem[n], 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod program;
+pub mod stdlib;
+pub mod threaded;
+
+pub use program::{Program, ProgramOutput, ReadMem, StepFn, VmError, VmRule};
+pub use pram_sim::Write;

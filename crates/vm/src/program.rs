@@ -1,0 +1,322 @@
+//! Program representation and the ideal-machine backend.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pram_sim::{AccessMode, ArbitraryPolicy, Machine, PramError, Trace, Write, WriteRule};
+
+/// Pre-step memory as a step body sees it, backend-independent.
+pub trait ReadMem {
+    /// Read cell `addr` (pre-step state). Out-of-bounds reads yield 0 and
+    /// fail the step.
+    fn read(&self, addr: usize) -> i64;
+    /// Memory size.
+    fn len(&self) -> usize;
+    /// `true` if memory is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A step body: processor `pid`'s instruction for one lock-step round.
+pub type StepFn = Arc<dyn Fn(usize, &dyn ReadMem) -> Vec<Write> + Send + Sync>;
+
+/// Write-conflict rule, restricted to those implementable on both
+/// backends.
+///
+/// (The simulator additionally offers min-*value* priority and the
+/// Collision rule; the threaded backend's priority cells arbitrate on
+/// 32-bit processor ids, so min-pid is the shared priority flavour.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VmRule {
+    /// All same-cell writers must agree on the value.
+    Common,
+    /// One same-cell writer wins, unspecified which.
+    Arbitrary,
+    /// The writer with the smallest processor id wins.
+    PriorityMinPid,
+}
+
+impl VmRule {
+    pub(crate) fn to_sim(self) -> WriteRule {
+        match self {
+            VmRule::Common => WriteRule::Common,
+            // Seeded for reproducibility of the reference runs.
+            VmRule::Arbitrary => WriteRule::Arbitrary(ArbitraryPolicy::Seeded(0)),
+            VmRule::PriorityMinPid => WriteRule::PriorityMinPid,
+        }
+    }
+}
+
+/// Error from a program run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A PRAM model violation (both backends detect these; the threaded
+    /// backend reports common-value violations post-commit).
+    Model(PramError),
+    /// A `repeat` block exceeded its iteration bound.
+    RepeatDiverged {
+        /// Index of the offending unit in the program.
+        unit: usize,
+        /// The bound that was hit.
+        max_iters: u32,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Model(e) => write!(f, "PRAM model violation: {e}"),
+            VmError::RepeatDiverged { unit, max_iters } => {
+                write!(f, "repeat block {unit} exceeded {max_iters} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<PramError> for VmError {
+    fn from(e: PramError) -> VmError {
+        VmError::Model(e)
+    }
+}
+
+/// One lock-step round: how many processors run, and what each does.
+#[derive(Clone)]
+pub(crate) struct Step {
+    pub(crate) procs: usize,
+    pub(crate) body: StepFn,
+}
+
+/// A program unit: a single step, or a repeat-until block.
+pub(crate) enum Unit {
+    Step(Step),
+    /// Run `steps` repeatedly while `mem[cond_addr] != 0` after a full
+    /// pass, at most `max_iters` passes.
+    Repeat {
+        steps: Vec<Step>,
+        cond_addr: usize,
+        max_iters: u32,
+    },
+}
+
+/// Result of a program run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramOutput {
+    /// Final memory.
+    pub mem: Vec<i64>,
+    /// Work–depth accounting. The threaded backend fills the same fields
+    /// by construction (its phases mirror machine steps), so the two
+    /// backends' traces are comparable.
+    pub trace: Trace,
+}
+
+/// A lock-step CRCW PRAM program (see crate docs).
+pub struct Program {
+    pub(crate) mem_len: usize,
+    pub(crate) units: Vec<Unit>,
+}
+
+impl Program {
+    /// An empty program over `mem_len` memory cells.
+    pub fn new(mem_len: usize) -> Program {
+        Program {
+            mem_len,
+            units: Vec::new(),
+        }
+    }
+
+    /// Declared memory size.
+    pub fn mem_len(&self) -> usize {
+        self.mem_len
+    }
+
+    /// Append one lock-step step executed by `procs` processors.
+    pub fn step<F>(&mut self, procs: usize, body: F) -> &mut Program
+    where
+        F: Fn(usize, &dyn ReadMem) -> Vec<Write> + Send + Sync + 'static,
+    {
+        self.units.push(Unit::Step(Step {
+            procs,
+            body: Arc::new(body),
+        }));
+        self
+    }
+
+    /// Append a repeat-until block: the steps added inside `build` run as
+    /// full passes while `mem[cond_addr] != 0` at the end of a pass (the
+    /// paper's `while (!done)` pattern — the program is responsible for
+    /// clearing and setting the flag cell within the pass, typically with
+    /// a reset step first and common writes of 1 on progress).
+    ///
+    /// Errors with [`VmError::RepeatDiverged`] after `max_iters` passes.
+    pub fn repeat<B>(&mut self, cond_addr: usize, max_iters: u32, build: B) -> &mut Program
+    where
+        B: FnOnce(&mut RepeatBuilder),
+    {
+        let mut b = RepeatBuilder { steps: Vec::new() };
+        build(&mut b);
+        self.units.push(Unit::Repeat {
+            steps: b.steps,
+            cond_addr,
+            max_iters,
+        });
+        self
+    }
+
+    /// Total step definitions (repeat bodies counted once).
+    pub fn num_steps(&self) -> usize {
+        self.units
+            .iter()
+            .map(|u| match u {
+                Unit::Step(_) => 1,
+                Unit::Repeat { steps, .. } => steps.len(),
+            })
+            .sum()
+    }
+
+    /// Interpret on the ideal machine under `rule`.
+    pub fn run_on_machine(
+        &self,
+        rule: VmRule,
+        initial: Vec<i64>,
+    ) -> Result<ProgramOutput, VmError> {
+        assert_eq!(initial.len(), self.mem_len, "initial memory size mismatch");
+        let mut m = Machine::new(AccessMode::Crcw(rule.to_sim()), initial);
+        struct View<'a>(&'a pram_sim::MemView<'a>);
+        impl ReadMem for View<'_> {
+            fn read(&self, addr: usize) -> i64 {
+                self.0.read(addr)
+            }
+            fn len(&self) -> usize {
+                self.0.len()
+            }
+        }
+        let run_step = |m: &mut Machine, s: &Step| -> Result<(), VmError> {
+            m.step(s.procs, |pid, view| (s.body)(pid, &View(view)))?;
+            Ok(())
+        };
+        for (ui, unit) in self.units.iter().enumerate() {
+            match unit {
+                Unit::Step(s) => run_step(&mut m, s)?,
+                Unit::Repeat {
+                    steps,
+                    cond_addr,
+                    max_iters,
+                } => {
+                    let mut iters = 0;
+                    loop {
+                        for s in steps {
+                            run_step(&mut m, s)?;
+                        }
+                        if m.mem()[*cond_addr] == 0 {
+                            break;
+                        }
+                        iters += 1;
+                        if iters >= *max_iters {
+                            return Err(VmError::RepeatDiverged {
+                                unit: ui,
+                                max_iters: *max_iters,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ProgramOutput {
+            mem: m.mem().to_vec(),
+            trace: *m.trace(),
+        })
+    }
+}
+
+/// Builder handle inside [`Program::repeat`].
+pub struct RepeatBuilder {
+    pub(crate) steps: Vec<Step>,
+}
+
+impl RepeatBuilder {
+    /// Append one step to the repeat body.
+    pub fn step<F>(&mut self, procs: usize, body: F) -> &mut RepeatBuilder
+    where
+        F: Fn(usize, &dyn ReadMem) -> Vec<Write> + Send + Sync + 'static,
+    {
+        self.steps.push(Step {
+            procs,
+            body: Arc::new(body),
+        });
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_step_common_write() {
+        let mut p = Program::new(2);
+        p.step(4, |_pid, _mem| vec![Write::new(1, 7)]);
+        let out = p.run_on_machine(VmRule::Common, vec![0, 0]).unwrap();
+        assert_eq!(out.mem, vec![0, 7]);
+        assert_eq!(out.trace.depth, 1);
+        assert_eq!(out.trace.work, 4);
+        assert_eq!(p.num_steps(), 1);
+        assert_eq!(p.mem_len(), 2);
+    }
+
+    #[test]
+    fn model_violation_surfaces() {
+        let mut p = Program::new(1);
+        p.step(2, |pid, _| vec![Write::new(0, pid as i64)]);
+        let err = p.run_on_machine(VmRule::Common, vec![0]).unwrap_err();
+        assert!(matches!(
+            err,
+            VmError::Model(PramError::CommonViolation { .. })
+        ));
+        assert!(err.to_string().contains("violation"));
+    }
+
+    #[test]
+    fn repeat_runs_until_flag_clears() {
+        // mem = [counter, flag]; each pass increments the counter and
+        // keeps the flag set while counter < 5.
+        let mut p = Program::new(2);
+        p.repeat(1, 100, |b| {
+            b.step(1, |_pid, mem| {
+                let c = mem.read(0) + 1;
+                let mut w = vec![Write::new(0, c)];
+                w.push(Write::new(1, i64::from(c < 5)));
+                w
+            });
+        });
+        let out = p.run_on_machine(VmRule::Common, vec![0, 1]).unwrap();
+        assert_eq!(out.mem[0], 5);
+        assert_eq!(out.mem[1], 0);
+    }
+
+    #[test]
+    fn repeat_divergence_is_an_error() {
+        let mut p = Program::new(1);
+        p.repeat(0, 7, |b| {
+            b.step(1, |_pid, _| vec![Write::new(0, 1)]); // flag never clears
+        });
+        let err = p.run_on_machine(VmRule::Common, vec![1]).unwrap_err();
+        assert_eq!(
+            err,
+            VmError::RepeatDiverged {
+                unit: 0,
+                max_iters: 7
+            }
+        );
+    }
+
+    #[test]
+    fn priority_rule_on_machine() {
+        let mut p = Program::new(1);
+        p.step(5, |pid, _| vec![Write::new(0, 10 + pid as i64)]);
+        let out = p.run_on_machine(VmRule::PriorityMinPid, vec![0]).unwrap();
+        assert_eq!(out.mem[0], 10);
+    }
+}

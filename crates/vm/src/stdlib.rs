@@ -1,0 +1,232 @@
+//! Prebuilt VM programs for the workspace's canonical kernels.
+//!
+//! Each constructor returns a [`Program`] plus a memory-layout description,
+//! so callers can build initial memory and decode results without
+//! re-deriving cell offsets. These double as executable documentation of
+//! the [`Program`] API and as the fixtures for the backend-equivalence
+//! property tests.
+
+use pram_sim::Write;
+
+use crate::program::Program;
+
+/// Layout for [`logical_or`]: bits at `[0, n)`, result at `n`.
+#[derive(Debug, Clone, Copy)]
+pub struct OrLayout {
+    /// Number of input bits.
+    pub n: usize,
+    /// Result cell.
+    pub result: usize,
+}
+
+/// O(1)-depth logical OR over `n` bits (common concurrent write).
+pub fn logical_or(n: usize) -> (Program, OrLayout) {
+    let mut p = Program::new(n + 1);
+    p.step(n, move |pid, mem| {
+        if mem.read(pid) != 0 {
+            vec![Write::new(n, 1)]
+        } else {
+            vec![]
+        }
+    });
+    (p, OrLayout { n, result: n })
+}
+
+/// Layout for [`constant_time_max`]: values at `[0, n)`, isMax flags at
+/// `[n, 2n)` (initialize to 1), result index at `2n` (initialize to −1).
+#[derive(Debug, Clone, Copy)]
+pub struct MaxLayout {
+    /// Number of values.
+    pub n: usize,
+    /// First isMax flag cell.
+    pub flags: usize,
+    /// Result cell.
+    pub result: usize,
+}
+
+impl MaxLayout {
+    /// Build initial memory from the values.
+    pub fn init(&self, values: &[i64]) -> Vec<i64> {
+        assert_eq!(values.len(), self.n);
+        let mut mem = Vec::with_capacity(2 * self.n + 1);
+        mem.extend_from_slice(values);
+        mem.extend(std::iter::repeat_n(1, self.n));
+        mem.push(-1);
+        mem
+    }
+}
+
+/// The paper's Figure 4 constant-time maximum (common concurrent writes;
+/// depth 2, work n² + n). Ties break toward the larger index.
+pub fn constant_time_max(n: usize) -> (Program, MaxLayout) {
+    assert!(n > 0, "maximum of an empty list is undefined");
+    let mut p = Program::new(2 * n + 1);
+    p.step(n * n, move |pid, mem| {
+        let (i, j) = (pid / n, pid % n);
+        if i == j {
+            return vec![];
+        }
+        let (vi, vj) = (mem.read(i), mem.read(j));
+        let loser = if vi < vj || (vi == vj && i < j) { i } else { j };
+        vec![Write::new(n + loser, 0)]
+    });
+    p.step(n, move |pid, mem| {
+        if mem.read(n + pid) == 1 {
+            vec![Write::new(2 * n, pid as i64)]
+        } else {
+            vec![]
+        }
+    });
+    (
+        p,
+        MaxLayout {
+            n,
+            flags: n,
+            result: 2 * n,
+        },
+    )
+}
+
+/// Layout for [`sv_components`]: parent pointers at `[0, n)` (initialize to
+/// the identity), change flag at `n` (initialize to 1 so the repeat block
+/// enters).
+#[derive(Debug, Clone, Copy)]
+pub struct SvLayout {
+    /// Number of vertices.
+    pub n: usize,
+    /// Change-flag cell.
+    pub flag: usize,
+}
+
+impl SvLayout {
+    /// Identity parents + armed flag.
+    pub fn init(&self) -> Vec<i64> {
+        let mut mem: Vec<i64> = (0..self.n as i64).collect();
+        mem.push(1);
+        mem
+    }
+
+    /// Decode final memory into component labels (labels are component
+    /// minima once converged; parents may be one hop from the root).
+    pub fn labels(&self, mem: &[i64]) -> Vec<u32> {
+        (0..self.n)
+            .map(|v| {
+                let mut x = v;
+                while mem[x] as usize != x {
+                    x = mem[x] as usize;
+                }
+                x as u32
+            })
+            .collect()
+    }
+}
+
+/// Hook-to-minimum connected components (arbitrary concurrent writes) as a
+/// repeat-until VM program. Pass both directions of every undirected edge.
+pub fn sv_components(n: usize, edges: Vec<(usize, usize)>) -> (Program, SvLayout) {
+    for &(u, v) in &edges {
+        assert!(u < n && v < n, "edge endpoint out of range");
+    }
+    let m = edges.len();
+    let mut p = Program::new(n + 1);
+    // Worst case: components shrink by at least one root per pass.
+    let max_iters = n as u32 + 2;
+    p.repeat(n, max_iters, move |b| {
+        // Clear the flag.
+        b.step(1, move |_pid, _mem| vec![Write::new(n, 0)]);
+        // Hook (arbitrary CW onto root cells).
+        let edges = edges.clone();
+        b.step(m, move |pid, mem| {
+            let (u, v) = edges[pid];
+            let du = mem.read(u);
+            let dv = mem.read(v);
+            if dv < du && mem.read(du as usize) == du {
+                vec![Write::new(du as usize, dv), Write::new(n, 1)]
+            } else {
+                vec![]
+            }
+        });
+        // Shortcut (exclusive write per vertex).
+        b.step(n, move |pid, mem| {
+            let dv = mem.read(pid);
+            let ddv = mem.read(dv as usize);
+            if ddv != dv {
+                vec![Write::new(pid, ddv), Write::new(n, 1)]
+            } else {
+                vec![]
+            }
+        });
+    });
+    (p, SvLayout { n, flag: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::VmRule;
+    use pram_exec::ThreadPool;
+
+    fn pool() -> ThreadPool {
+        ThreadPool::new(4)
+    }
+
+    #[test]
+    fn stdlib_or_both_backends() {
+        let (p, layout) = logical_or(10);
+        let mut init = vec![0i64; 11];
+        init[7] = 1;
+        let a = p.run_on_machine(VmRule::Common, init.clone()).unwrap();
+        let b = p.run_threaded(VmRule::Common, init, &pool()).unwrap();
+        assert_eq!(a.mem[layout.result], 1);
+        assert_eq!(a.mem, b.mem);
+
+        let (p, layout) = logical_or(10);
+        let out = p.run_on_machine(VmRule::Common, vec![0; 11]).unwrap();
+        assert_eq!(out.mem[layout.result], 0);
+    }
+
+    #[test]
+    fn stdlib_max_matches_reference_on_both_backends() {
+        let values: Vec<i64> = vec![4, 9, 1, 9, 0, 3];
+        let (p, layout) = constant_time_max(values.len());
+        let init = layout.init(&values);
+        let a = p.run_on_machine(VmRule::Common, init.clone()).unwrap();
+        let b = p.run_threaded(VmRule::Common, init, &pool()).unwrap();
+        assert_eq!(a.mem[layout.result], 3); // larger index wins the tie
+        assert_eq!(a.mem, b.mem);
+        assert_eq!(a.trace.depth, 2);
+    }
+
+    #[test]
+    fn stdlib_sv_labels_match_union_find_on_both_backends() {
+        // Components {0,2,4} and {1,3}; 5 isolated.
+        let undirected = [(0, 2), (2, 4), (1, 3)];
+        let edges: Vec<(usize, usize)> = undirected
+            .iter()
+            .flat_map(|&(u, v)| [(u, v), (v, u)])
+            .collect();
+        let (p, layout) = sv_components(6, edges);
+        let init = layout.init();
+        let a = p.run_on_machine(VmRule::Arbitrary, init.clone()).unwrap();
+        let b = p.run_threaded(VmRule::Arbitrary, init, &pool()).unwrap();
+        let expect = vec![0, 1, 0, 1, 0, 5];
+        assert_eq!(layout.labels(&a.mem), expect);
+        assert_eq!(layout.labels(&b.mem), expect);
+    }
+
+    #[test]
+    fn stdlib_sv_rejects_common_rule() {
+        // Two edges hooking one root with different values: the Common
+        // rule must refuse on both backends (paper §7.3: CC *requires*
+        // arbitrary CW).
+        let edges: Vec<(usize, usize)> = [(0, 2), (1, 2), (0, 1)]
+            .iter()
+            .flat_map(|&(u, v)| [(u, v), (v, u)])
+            .collect();
+        let (p, layout) = sv_components(3, edges);
+        assert!(p.run_on_machine(VmRule::Common, layout.init()).is_err());
+        assert!(p
+            .run_threaded(VmRule::Common, layout.init(), &pool())
+            .is_err());
+    }
+}

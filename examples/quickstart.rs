@@ -1,0 +1,98 @@
+//! Quickstart: the CAS-LT concurrent-write primitive in five minutes.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! Walks through (1) the raw claim primitive, (2) why rounds re-arm for
+//! free, (3) a real kernel — the paper's constant-time maximum — under all
+//! concurrent-write methods, with their contention statistics side by side.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crcw_pram::prelude::*;
+use pram_core::CountingArbiter;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. The primitive: one winner per (cell, round).
+    // ------------------------------------------------------------------
+    println!("== 1. canConWriteCASLT, in Rust ==");
+    let cells = CasLtArray::new(1);
+    let mut rounds = RoundCounter::new();
+    let round = rounds.next_round().unwrap();
+    let winners = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..8 {
+            let cells = &cells;
+            let winners = &winners;
+            s.spawn(move || {
+                if cells.try_claim(0, round) {
+                    winners.fetch_add(1, Ordering::Relaxed);
+                    println!("   thread {t} won the concurrent write");
+                }
+            });
+        }
+    });
+    println!("   winners: {} (always exactly 1)", winners.load(Ordering::Relaxed));
+
+    // ------------------------------------------------------------------
+    // 2. Rounds re-arm every cell at zero cost — no reset pass.
+    // ------------------------------------------------------------------
+    println!("\n== 2. A new round re-arms the cell for free ==");
+    let r2 = rounds.next_round().unwrap();
+    println!("   claim(round {round}) again -> {}", cells.try_claim(0, round));
+    println!("   claim(round {r2})       -> {}", cells.try_claim(0, r2));
+
+    // ------------------------------------------------------------------
+    // 3. A real kernel: the paper's constant-time maximum (Figure 4).
+    // ------------------------------------------------------------------
+    println!("\n== 3. Constant-time maximum under every CW method ==");
+    let n = 2_000;
+    let values: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 1_000_003).collect();
+    let pool = ThreadPool::new(4);
+
+    for method in CwMethod::ALL {
+        let t0 = std::time::Instant::now();
+        let idx = pram_algos::max_index(&values, method, &pool);
+        let dt = t0.elapsed();
+        println!(
+            "   {method:<15} -> index {idx:>4} (value {}) in {dt:>10.2?}",
+            values[idx]
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Why CAS-LT wins: count the atomics.
+    // ------------------------------------------------------------------
+    println!("\n== 4. Claim statistics ==");
+    // Scheme-agnostic counts for the whole kernel:
+    let arb = CountingArbiter::new(CasLtArray::new(n));
+    pram_algos::max::max_index_with_arbiter(&values, &arb, &pool);
+    let s = arb.stats().snapshot();
+    println!(
+        "   kernel: {} claim attempts, {} winning writes \
+         (the gatekeeper method\n   issues one atomic RMW for *every* attempt)",
+        s.attempts, s.wins
+    );
+    // Per-path counts via the instrumented CAS-LT cell: hammer one cell.
+    let cell = pram_core::CasLtCell::new();
+    let stats = pram_core::CwStats::new();
+    let round = Round::FIRST;
+    std::thread::scope(|sc| {
+        for _ in 0..4 {
+            sc.spawn(|| {
+                for _ in 0..250_000 {
+                    cell.try_claim_instrumented(round, &stats);
+                }
+            });
+        }
+    });
+    let s = stats.snapshot();
+    println!("   one contended cell, 1M claims: {s}");
+    println!(
+        "   -> CAS-LT issued {} atomic RMW(s) in total; {:.3}% of claims\n   \
+         were resolved by the contention-free fast-path load.",
+        s.rmw_issued,
+        s.fast_path_ratio() * 100.0
+    );
+}

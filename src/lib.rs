@@ -1,0 +1,37 @@
+//! # crcw-pram — facade crate
+//!
+//! One-stop re-export of the workspace implementing
+//! *"Implementing Arbitrary/Common Concurrent Writes of CRCW PRAM"*
+//! (Ghanim, ElWasif, Bernholdt — ICPP 2021):
+//!
+//! * [`core`] (`pram-core`) — the concurrent-write arbitration primitives
+//!   (CAS-LT, gatekeeper, naive, lock, priority).
+//! * [`exec`] (`pram-exec`) — the OpenMP-style execution substrate
+//!   (persistent pool, `parallel_for`, barriers, lock-step rounds).
+//! * [`sim`] (`pram-sim`) — the ideal CRCW PRAM reference machine.
+//! * [`graph`] (`pram-graph`) — CSR graphs, generators, serial references.
+//! * [`algos`] (`pram-algos`) — the paper's kernels (Max, BFS, CC) and
+//!   extensions, parameterized over the concurrent-write method.
+//! * [`vm`] (`pram-vm`) — a lock-step PRAM virtual machine: one program
+//!   description, runnable exactly on the simulator or fast on threads.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and DESIGN.md /
+//! EXPERIMENTS.md for the paper-reproduction map.
+
+pub use pram_algos as algos;
+pub use pram_core as core;
+pub use pram_exec as exec;
+pub use pram_graph as graph;
+pub use pram_sim as sim;
+pub use pram_vm as vm;
+
+/// Commonly used items, importable with one `use crcw_pram::prelude::*`.
+pub mod prelude {
+    pub use pram_algos::CwMethod;
+    pub use pram_core::{
+        Arbiter, CasLtArray, CasLtCell, ConCell, ConVec, GatekeeperArray, GatekeeperCell,
+        NaiveArbiter, Round, RoundCounter, SliceArbiter,
+    };
+    pub use pram_exec::{Schedule, ThreadPool, WaitPolicy};
+    pub use pram_graph::{CsrGraph, GraphGen};
+}

@@ -1,0 +1,168 @@
+//! Property tests for the arbitration primitives: the single-winner
+//! invariant under real-thread interleavings, round monotonicity, and
+//! reset semantics, across randomized configurations.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use proptest::prelude::*;
+use pram_core::{
+    CasLtArray, CasLtCell64, GatekeeperArray, GatekeeperSkipArray, LockArray, PriorityArray,
+    Round, SliceArbiter,
+};
+
+/// Hammer `arb` with `threads` threads over `rounds` barrier-separated
+/// rounds of claims on every cell; return total wins (must equal
+/// `rounds * cells`).
+fn hammer<A: SliceArbiter>(arb: &A, threads: usize, rounds: u32, reset_each_round: bool) -> usize {
+    let wins = AtomicUsize::new(0);
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                for r in 0..rounds {
+                    let round = Round::from_iteration(r);
+                    let releaser = barrier.wait().is_leader();
+                    for c in 0..arb.len() {
+                        if arb.try_claim(c, round) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    barrier.wait();
+                    if reset_each_round && releaser {
+                        arb.reset_all();
+                    }
+                    barrier.wait();
+                }
+            });
+        }
+    });
+    wins.load(Ordering::Relaxed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn caslt_exactly_one_winner_per_cell_per_round(
+        threads in 2usize..6,
+        cells in 1usize..12,
+        rounds in 1u32..24,
+    ) {
+        let arb = CasLtArray::new(cells);
+        let wins = hammer(&arb, threads, rounds, false);
+        prop_assert_eq!(wins, cells * rounds as usize);
+    }
+
+    #[test]
+    fn gatekeeper_exactly_one_winner_with_reset_discipline(
+        threads in 2usize..6,
+        cells in 1usize..12,
+        rounds in 1u32..16,
+    ) {
+        let arb = GatekeeperArray::new(cells);
+        let wins = hammer(&arb, threads, rounds, true);
+        prop_assert_eq!(wins, cells * rounds as usize);
+
+        let arb = GatekeeperSkipArray::new(cells);
+        let wins = hammer(&arb, threads, rounds, true);
+        prop_assert_eq!(wins, cells * rounds as usize);
+    }
+
+    #[test]
+    fn gatekeeper_without_reset_wins_only_round_one(
+        threads in 2usize..5,
+        cells in 1usize..8,
+        rounds in 2u32..10,
+    ) {
+        // The defining limitation: no reset pass => later rounds get no
+        // winner at all.
+        let arb = GatekeeperArray::new(cells);
+        let wins = hammer(&arb, threads, rounds, false);
+        prop_assert_eq!(wins, cells);
+    }
+
+    #[test]
+    fn lock_arbiter_same_invariant_as_caslt(
+        threads in 2usize..5,
+        cells in 1usize..8,
+        rounds in 1u32..12,
+    ) {
+        let arb = LockArray::new(cells);
+        let wins = hammer(&arb, threads, rounds, false);
+        prop_assert_eq!(wins, cells * rounds as usize);
+    }
+
+    #[test]
+    fn caslt_round_monotonicity_sequential(claims in proptest::collection::vec(0u32..50, 1..60)) {
+        // Sequential model check: a claim wins iff its round is strictly
+        // newer than every previously winning round.
+        let arr = CasLtArray::new(1);
+        let mut last_won: Option<u32> = None;
+        for &c in &claims {
+            let won = arr.try_claim(0, Round::from_iteration(c));
+            let expected = last_won.is_none_or(|l| c > l);
+            prop_assert_eq!(won, expected, "claim round {} after {:?}", c, last_won);
+            if won {
+                last_won = Some(c);
+            }
+        }
+    }
+
+    #[test]
+    fn caslt64_matches_caslt32_semantics(claims in proptest::collection::vec(0u32..40, 1..50)) {
+        let narrow = CasLtArray::new(1);
+        let wide = CasLtCell64::new();
+        for &c in &claims {
+            let r = Round::from_iteration(c);
+            let a = narrow.try_claim(0, r);
+            let b = wide.try_claim_wide(r.widen());
+            prop_assert_eq!(a, b, "divergence at round {}", c);
+        }
+    }
+
+    #[test]
+    fn priority_winner_is_global_minimum(
+        offers in proptest::collection::vec(0u32..1000, 1..40),
+    ) {
+        let cell = PriorityArray::new(1);
+        let round = Round::FIRST;
+        std::thread::scope(|s| {
+            for chunk in offers.chunks(8) {
+                let cell = &cell;
+                s.spawn(move || {
+                    for &p in chunk {
+                        cell.offer(0, round, p);
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(cell.winner(0, round), offers.iter().copied().min());
+        // Exactly one offered priority is the winner (ties collapse).
+        let winners = offers
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .filter(|&&p| cell.is_winner(0, round, p))
+            .count();
+        prop_assert_eq!(winners, 1);
+    }
+
+    #[test]
+    fn reset_ranges_partition_cleanly(
+        cells in 1usize..40,
+        cut in 0usize..40,
+    ) {
+        let cut = cut.min(cells);
+        let arb = CasLtArray::new(cells);
+        let r = Round::FIRST;
+        for c in 0..cells {
+            prop_assert!(arb.try_claim(c, r));
+        }
+        arb.reset_range(0..cut);
+        arb.reset_range(cut..cells);
+        for c in 0..cells {
+            prop_assert!(arb.try_claim(c, r), "cell {} not re-armed", c);
+        }
+    }
+}

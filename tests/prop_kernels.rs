@@ -1,0 +1,117 @@
+//! Property tests for whole kernels: random workloads, every
+//! concurrent-write method, varying team sizes — always checked against
+//! the serial ground truth.
+
+use proptest::prelude::*;
+use pram_algos::bfs::{bfs, verify_bfs_tree};
+use pram_algos::cc::{connected_components, verify_cc};
+use pram_algos::sv::{sv_components, verify_sv};
+use pram_algos::{first_true, logical_or, max_index, CwMethod};
+use pram_exec::ThreadPool;
+use pram_graph::{serial, CsrGraph, GraphGen};
+
+fn arb_method() -> impl Strategy<Value = CwMethod> {
+    prop::sample::select(CwMethod::ALL.to_vec())
+}
+
+fn single_winner_method() -> impl Strategy<Value = CwMethod> {
+    prop::sample::select(
+        CwMethod::ALL
+            .into_iter()
+            .filter(|m| m.single_winner())
+            .collect::<Vec<_>>(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn max_matches_reference(
+        values in proptest::collection::vec(any::<u64>(), 1..120),
+        method in arb_method(),
+        threads in 1usize..6,
+    ) {
+        let pool = ThreadPool::new(threads);
+        let got = max_index(&values, method, &pool);
+        prop_assert_eq!(got, serial::max_index_paper_tiebreak(&values));
+    }
+
+    #[test]
+    fn bfs_trees_are_valid_on_random_graphs(
+        seed in any::<u64>(),
+        n in 2usize..80,
+        density in 1usize..6,
+        method in single_winner_method(),
+        threads in 1usize..5,
+    ) {
+        let m = n * density;
+        let edges = GraphGen::new(seed).gnm(n, m);
+        let g = CsrGraph::from_edges(n, &edges, true);
+        let pool = ThreadPool::new(threads);
+        let source = (seed % n as u64) as u32;
+        let r = bfs(&g, source, method, &pool);
+        prop_assert!(verify_bfs_tree(&g, source, &r).is_ok(),
+            "{}", verify_bfs_tree(&g, source, &r).unwrap_err());
+    }
+
+    #[test]
+    fn cc_matches_union_find_on_random_graphs(
+        seed in any::<u64>(),
+        n in 2usize..80,
+        density in 0usize..5,
+        method in single_winner_method(),
+        threads in 1usize..5,
+    ) {
+        let edges = GraphGen::new(seed).gnm(n, n * density);
+        let g = CsrGraph::from_edges(n, &edges, true);
+        let pool = ThreadPool::new(threads);
+        let r = connected_components(&g, method, &pool);
+        prop_assert!(verify_cc(&g, &r).is_ok(), "{}", verify_cc(&g, &r).unwrap_err());
+    }
+
+    #[test]
+    fn sv_matches_union_find_on_random_graphs(
+        seed in any::<u64>(),
+        n in 2usize..80,
+        density in 0usize..5,
+        method in single_winner_method(),
+        threads in 1usize..5,
+    ) {
+        let edges = GraphGen::new(seed).gnm(n, n * density);
+        let g = CsrGraph::from_edges(n, &edges, true);
+        let pool = ThreadPool::new(threads);
+        let r = sv_components(&g, method, &pool);
+        prop_assert!(verify_sv(&g, &r).is_ok(), "{}", verify_sv(&g, &r).unwrap_err());
+    }
+
+    #[test]
+    fn cc_on_forests_and_rmat(
+        seed in any::<u64>(),
+        scale in 3u32..8,
+    ) {
+        let pool = ThreadPool::new(4);
+        let n = 1usize << scale;
+
+        let forest = GraphGen::new(seed).random_forest(n, 0.6);
+        let g = CsrGraph::from_edges(n, &forest, true);
+        let r = connected_components(&g, CwMethod::CasLt, &pool);
+        prop_assert!(verify_cc(&g, &r).is_ok());
+
+        let rmat = GraphGen::new(seed).rmat_standard(scale, n * 4);
+        let g = CsrGraph::from_edges(n, &rmat, true);
+        let r = connected_components(&g, CwMethod::CasLt, &pool);
+        prop_assert!(verify_cc(&g, &r).is_ok());
+    }
+
+    #[test]
+    fn or_and_first_true_match_iterator_semantics(
+        bits in proptest::collection::vec(any::<bool>(), 0..200),
+        method in arb_method(),
+        threads in 1usize..5,
+    ) {
+        let pool = ThreadPool::new(threads);
+        prop_assert_eq!(logical_or(&bits, method, &pool), bits.iter().any(|&b| b));
+        prop_assert_eq!(first_true(&bits, &pool), bits.iter().position(|&b| b));
+    }
+}

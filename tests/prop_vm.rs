@@ -1,0 +1,153 @@
+//! Property tests for the PRAM virtual machine: random lock-step programs
+//! run on both backends must agree (exactly for deterministic rules;
+//! admissibly for arbitrary).
+
+use proptest::prelude::*;
+use pram_exec::ThreadPool;
+use pram_vm::{Program, VmRule, Write};
+
+/// A random program description: per step, per processor, an optional
+/// (addr, value) write. Values are derived from (step, pid) so common-rule
+/// agreement can be forced or broken deliberately by the generator.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    mem: usize,
+    /// steps[i][pid] = Some(addr) — the cell pid writes in step i.
+    steps: Vec<Vec<Option<usize>>>,
+}
+
+fn arb_program(common_safe: bool) -> impl Strategy<Value = RandomProgram> {
+    (2usize..8).prop_flat_map(move |mem| {
+        let step = proptest::collection::vec(proptest::option::of(0..mem), 1..10);
+        proptest::collection::vec(step, 1..6).prop_map(move |steps| RandomProgram {
+            mem,
+            steps: if common_safe {
+                steps
+            } else {
+                steps
+            },
+        })
+    })
+}
+
+/// Build a `Program` from the description. With `agreeing = true`, every
+/// writer of a cell in a step writes the same value (step * 100 + addr);
+/// otherwise values depend on pid too.
+fn build(desc: &RandomProgram, agreeing: bool) -> Program {
+    let mut p = Program::new(desc.mem);
+    for (si, step) in desc.steps.iter().enumerate() {
+        let step = step.clone();
+        p.step(step.len(), move |pid, _mem| match step[pid] {
+            Some(addr) => {
+                let value = if agreeing {
+                    (si * 100 + addr) as i64
+                } else {
+                    (si * 1000 + pid * 10 + addr) as i64
+                };
+                vec![Write::new(addr, value)]
+            }
+            None => vec![],
+        });
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn common_rule_backends_agree_exactly(
+        desc in arb_program(true),
+        threads in 1usize..5,
+    ) {
+        let p = build(&desc, true);
+        let init = vec![0i64; desc.mem];
+        let ideal = p.run_on_machine(VmRule::Common, init.clone()).unwrap();
+        let pool = ThreadPool::new(threads);
+        let real = p.run_threaded(VmRule::Common, init, &pool).unwrap();
+        prop_assert_eq!(&ideal.mem, &real.mem);
+        prop_assert_eq!(ideal.trace.depth, real.trace.depth);
+        prop_assert_eq!(ideal.trace.work, real.trace.work);
+        prop_assert_eq!(ideal.trace.writes_issued, real.trace.writes_issued);
+        prop_assert_eq!(ideal.trace.writes_committed, real.trace.writes_committed);
+        prop_assert_eq!(ideal.trace.steps_with_conflicts, real.trace.steps_with_conflicts);
+    }
+
+    #[test]
+    fn priority_rule_backends_agree_exactly(
+        desc in arb_program(false),
+        threads in 1usize..5,
+    ) {
+        // Min-pid priority is deterministic: exact equality required even
+        // though writers disagree on values.
+        let p = build(&desc, false);
+        let init = vec![0i64; desc.mem];
+        let ideal = p.run_on_machine(VmRule::PriorityMinPid, init.clone()).unwrap();
+        let pool = ThreadPool::new(threads);
+        let real = p.run_threaded(VmRule::PriorityMinPid, init, &pool).unwrap();
+        prop_assert_eq!(&ideal.mem, &real.mem);
+    }
+
+    #[test]
+    fn arbitrary_rule_commits_are_admissible(
+        desc in arb_program(false),
+        threads in 1usize..5,
+    ) {
+        // The threaded arbitrary winner need not match the simulator's,
+        // but after every step the committed value must be one some
+        // processor issued. Checking the final memory: replay the steps
+        // tracking, per cell, the set of values ever issued for it plus
+        // the initial value.
+        let p = build(&desc, false);
+        let init = vec![0i64; desc.mem];
+        let pool = ThreadPool::new(threads);
+        let real = p.run_threaded(VmRule::Arbitrary, init, &pool).unwrap();
+
+        let mut admissible: Vec<std::collections::HashSet<i64>> =
+            (0..desc.mem).map(|_| [0i64].into_iter().collect()).collect();
+        for (si, step) in desc.steps.iter().enumerate() {
+            for (pid, w) in step.iter().enumerate() {
+                if let Some(addr) = w {
+                    admissible[*addr].insert((si * 1000 + pid * 10 + addr) as i64);
+                }
+            }
+        }
+        for (addr, value) in real.mem.iter().enumerate() {
+            prop_assert!(
+                admissible[addr].contains(value),
+                "cell {} holds {} which was never issued", addr, value
+            );
+        }
+        // Last-step winners: for each cell written in the final step, the
+        // final value must come from that step (later steps overwrite).
+        if let Some(last) = desc.steps.last() {
+            let si = desc.steps.len() - 1;
+            for addr in 0..desc.mem {
+                let writers: Vec<usize> = last
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(pid, w)| (*w == Some(addr)).then_some(pid))
+                    .collect();
+                if !writers.is_empty() {
+                    let ok = writers
+                        .iter()
+                        .any(|pid| real.mem[addr] == (si * 1000 + pid * 10 + addr) as i64);
+                    prop_assert!(ok, "cell {} not owned by a final-step writer", addr);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflicting_common_programs_fail_on_both_backends(
+        mem in 1usize..4,
+        procs in 2usize..8,
+    ) {
+        let mut p = Program::new(mem);
+        p.step(procs, move |pid, _| vec![Write::new(0, pid as i64)]);
+        let init = vec![0i64; mem];
+        prop_assert!(p.run_on_machine(VmRule::Common, init.clone()).is_err());
+        let pool = ThreadPool::new(3);
+        prop_assert!(p.run_threaded(VmRule::Common, init, &pool).is_err());
+    }
+}

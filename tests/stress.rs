@@ -1,0 +1,67 @@
+//! Moderate-scale end-to-end soak: every kernel on a graph big enough to
+//! exercise many rounds, oversubscribed threads, and real claim collisions,
+//! with full verification. (Paper-scale runs live in the bench harness;
+//! this keeps `cargo test` minutes-bounded while still leaving toy sizes.)
+
+use pram_algos::bfs::{bfs, verify_bfs_tree};
+use pram_algos::cc::{connected_components, verify_cc};
+use pram_algos::matching::{maximal_matching, verify_matching};
+use pram_algos::sv::{sv_components, verify_sv};
+use pram_algos::CwMethod;
+use pram_exec::ThreadPool;
+use pram_graph::{CsrGraph, GraphGen};
+
+fn big_graph() -> CsrGraph {
+    let n = 50_000;
+    let edges = GraphGen::new(2026).gnm(n, 250_000);
+    CsrGraph::from_edges(n, &edges, true)
+}
+
+#[test]
+fn bfs_at_scale_all_paper_methods() {
+    let g = big_graph();
+    let pool = ThreadPool::new(8);
+    for m in [CwMethod::Gatekeeper, CwMethod::CasLt] {
+        let r = bfs(&g, 17, m, &pool);
+        verify_bfs_tree(&g, 17, &r).unwrap_or_else(|e| panic!("{m}: {e}"));
+    }
+    // Naive: distances still correct.
+    let r = bfs(&g, 17, CwMethod::Naive, &pool);
+    pram_algos::bfs::verify_bfs_levels(&g, 17, &r).unwrap();
+}
+
+#[test]
+fn cc_at_scale_gatekeeper_vs_caslt() {
+    let g = big_graph();
+    let pool = ThreadPool::new(8);
+    for m in [CwMethod::Gatekeeper, CwMethod::CasLt] {
+        let r = connected_components(&g, m, &pool);
+        verify_cc(&g, &r).unwrap_or_else(|e| panic!("{m}: {e}"));
+        assert!(r.converged);
+    }
+}
+
+#[test]
+fn sv_and_matching_at_scale() {
+    let g = big_graph();
+    let pool = ThreadPool::new(8);
+    let r = sv_components(&g, CwMethod::CasLt, &pool);
+    verify_sv(&g, &r).unwrap();
+
+    let m = maximal_matching(&g, CwMethod::CasLt, &pool);
+    verify_matching(&g, &m).unwrap();
+    // A 250K-edge random graph on 50K vertices matches most vertices.
+    assert!(m.pairs > 10_000, "suspiciously small matching: {}", m.pairs);
+}
+
+#[test]
+fn rmat_at_scale_with_heavy_skew() {
+    // Hubs concentrate claims: the adversarial case for arbitration.
+    let edges = GraphGen::new(7).rmat_standard(14, 200_000);
+    let g = CsrGraph::from_edges(1 << 14, &edges, true);
+    let pool = ThreadPool::new(8);
+    let r = connected_components(&g, CwMethod::CasLt, &pool);
+    verify_cc(&g, &r).unwrap();
+    let b = bfs(&g, 0, CwMethod::CasLt, &pool);
+    verify_bfs_tree(&g, 0, &b).unwrap();
+}
