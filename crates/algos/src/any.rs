@@ -11,8 +11,10 @@
 
 use std::sync::atomic::{AtomicU32, AtomicU8, Ordering};
 
-use pram_core::{Arbiter, CasLtCell, GatekeeperCell, GatekeeperSkipCell, LockCell, NaiveCell,
-                PriorityCell, Round};
+use pram_core::{
+    Arbiter, CasLtCell, GatekeeperCell, GatekeeperSkipCell, LockCell, NaiveCell, PriorityCell,
+    Round,
+};
 use pram_exec::{Schedule, ThreadPool};
 
 use crate::method::CwMethod;
@@ -59,7 +61,10 @@ pub fn first_true(bits: &[bool], pool: &ThreadPool) -> Option<usize> {
     let cell = PriorityCell::new();
     let round = Round::FIRST;
     let winner = AtomicU32::new(u32::MAX);
-    assert!(bits.len() < u32::MAX as usize, "index space exceeds u32 priorities");
+    assert!(
+        bits.len() < u32::MAX as usize,
+        "index space exceeds u32 priorities"
+    );
     pool.run(|ctx| {
         // Offer phase: a priority write is issued by every set bit.
         ctx.for_each(0..bits.len(), Schedule::default(), |i| {

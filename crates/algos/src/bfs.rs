@@ -1,10 +1,12 @@
-//! Rodinia-style level-synchronous BFS (paper Figure 3, evaluated in
-//! Figures 7–9).
+//! Breadth-first search under pluggable concurrent-write methods and
+//! pluggable *frontier strategies*.
 //!
-//! Each level-`L` iteration scans all vertices, expands the frontier
-//! (`level[v] == L`), and tries to *claim* every unvisited neighbor `u`.
-//! The claim guards a four-word write — `parent[u]`, `sel_edge[u]`,
-//! `visited[u]`, `level[u]` — which is exactly why the method matters:
+//! The paper's BFS (Figure 3, evaluated in Figures 7–9) is the
+//! Rodinia-style **dense scan**: each level-`L` iteration scans all `n`
+//! vertices, expands the frontier (`level[v] == L`), and tries to *claim*
+//! every unvisited neighbor `u`. The claim guards a four-word write —
+//! `parent[u]`, `sel_edge[u]`, `visited[u]`, `level[u]` — which is exactly
+//! why the method matters:
 //!
 //! * under **naive** writes (Rodinia's original), several expanders write
 //!   `u` concurrently; `level`/`visited` are *common* writes (all agree) so
@@ -15,15 +17,42 @@
 //! * under any single-winner method the four words are written by one
 //!   thread and are mutually consistent.
 //!
+//! This module adds two frontier-centric strategies on the same claim
+//! substrate, selected by [`BfsStrategy`]:
+//!
+//! * [`BfsStrategy::TopDown`] — the frontier is an explicit sparse queue
+//!   ([`pram_exec::FrontierBuffer`]); workers append discoveries to
+//!   per-worker [`pram_exec::LocalBuffer`]s and the per-level work is
+//!   `O(frontier edges)`, not `O(n + frontier edges)`.
+//! * [`BfsStrategy::DirectionOptimizing`] — Beamer's push/pull switch: run
+//!   top-down while the frontier is small; when its out-edge count exceeds
+//!   `m / α` switch to a **bottom-up pull** over a dense
+//!   [`pram_core::AtomicBitmap`] frontier (each unvisited vertex scans its
+//!   in-edges and stops at the first frontier neighbor), and drop back to
+//!   top-down when the frontier shrinks below `n / β`.
+//!
+//! In every strategy the winner-claim `arb.try_claim(target, round)`
+//! remains the **single point of frontier insertion**, so all
+//! concurrent-write methods dispatch unchanged and the four-word write
+//! keeps its single-winner consistency guarantee. The bottom-up sweep
+//! records `sel_edge` through [`pram_graph::ReverseCsr`]'s edge
+//! provenance, so the discovered edge is still an index owned by the
+//! parent — the same invariant [`verify_bfs_tree`] checks for every
+//! strategy.
+//!
 //! The per-level round ID is the level itself — the paper's "round could be
 //! substituted by the loop iteration" remark — supplied here by
 //! [`pram_exec::WorkerCtx::converge_rounds`].
 
+use std::fmt;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
 
-use pram_core::SliceArbiter;
-use pram_exec::{Schedule, ThreadPool};
-use pram_graph::CsrGraph;
+use pram_core::{AtomicBitmap, SliceArbiter};
+use pram_exec::{
+    FrontierBuffer, LocalBuffer, Schedule, ThreadPool, WorkerCtx, FRONTIER_GRAIN_EDGES,
+};
+use pram_graph::{CsrGraph, ReverseCsr};
 
 use crate::method::{dispatch_method, CwMethod};
 
@@ -33,6 +62,53 @@ pub const UNREACHED: u32 = u32::MAX;
 pub const NO_PARENT: u32 = u32::MAX;
 /// Sentinel edge index for the source and unreachable vertices.
 pub const NO_EDGE: usize = usize::MAX;
+
+/// Direction-optimizing switch numerator (Beamer's α): switch push → pull
+/// when the frontier's out-edge count exceeds `m / α`.
+pub const DIRECTION_ALPHA: usize = 14;
+/// Direction-optimizing switch denominator (Beamer's β): switch pull →
+/// push when the frontier size drops below `n / β`.
+pub const DIRECTION_BETA: usize = 24;
+
+/// How BFS represents and expands its frontier. Orthogonal to the
+/// concurrent-write method: every strategy funnels discovery through the
+/// same `try_claim` arbitration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BfsStrategy {
+    /// The paper's Figure 3 kernel: scan all `n` vertices every level.
+    DenseScan,
+    /// Sparse frontier queue with per-worker buffers; work per level is
+    /// proportional to the frontier's out-edges.
+    TopDown,
+    /// Beamer-style push/pull: top-down while the frontier is sparse,
+    /// bottom-up over a dense bitmap when it is not
+    /// ([`DIRECTION_ALPHA`] / [`DIRECTION_BETA`] thresholds).
+    ///
+    /// The bottom-up sweep scans *in*-edges, so on a directed graph the
+    /// strategy is only equivalent to the others if the graph stores both
+    /// directions (as every undirected [`CsrGraph`] here does).
+    #[default]
+    DirectionOptimizing,
+}
+
+impl BfsStrategy {
+    /// All strategies, for tests and benches.
+    pub const ALL: [BfsStrategy; 3] = [
+        BfsStrategy::DenseScan,
+        BfsStrategy::TopDown,
+        BfsStrategy::DirectionOptimizing,
+    ];
+}
+
+impl fmt::Display for BfsStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BfsStrategy::DenseScan => "dense-scan",
+            BfsStrategy::TopDown => "top-down",
+            BfsStrategy::DirectionOptimizing => "direction-optimizing",
+        })
+    }
+}
 
 /// Output of [`bfs`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,7 +126,7 @@ pub struct BfsResult {
 }
 
 /// Level-synchronous BFS from `source` under the given concurrent-write
-/// method.
+/// method, using the paper-faithful [`BfsStrategy::DenseScan`].
 ///
 /// ```
 /// use pram_algos::{bfs, CwMethod};
@@ -64,29 +140,165 @@ pub struct BfsResult {
 /// assert_eq!(r.parent[4], 3);
 /// ```
 pub fn bfs(g: &CsrGraph, source: u32, method: CwMethod, pool: &ThreadPool) -> BfsResult {
-    dispatch_method!(method, g.num_vertices(), |arb| bfs_with_arbiter(
-        g, source, &arb, pool
+    bfs_with_strategy(g, source, method, BfsStrategy::DenseScan, pool)
+}
+
+/// BFS from `source` under the given concurrent-write method and frontier
+/// strategy.
+///
+/// ```
+/// use pram_algos::{bfs_with_strategy, BfsStrategy, CwMethod};
+/// use pram_exec::ThreadPool;
+/// use pram_graph::{CsrGraph, GraphGen};
+///
+/// let g = CsrGraph::from_edges(7, &GraphGen::star(7), true);
+/// let pool = ThreadPool::new(2);
+/// let r = bfs_with_strategy(&g, 0, CwMethod::CasLt, BfsStrategy::DirectionOptimizing, &pool);
+/// assert!(r.level[1..].iter().all(|&l| l == 1));
+/// ```
+pub fn bfs_with_strategy(
+    g: &CsrGraph,
+    source: u32,
+    method: CwMethod,
+    strategy: BfsStrategy,
+    pool: &ThreadPool,
+) -> BfsResult {
+    dispatch_method!(method, g.num_vertices(), |arb| bfs_strategy_with_arbiter(
+        g, source, &arb, strategy, pool
     ))
 }
 
-/// BFS against an explicit arbiter (one cell per vertex, freshly armed).
+/// [`bfs_with_strategy`] with a caller-supplied in-edge view, so repeated
+/// traversals (benchmarks, multi-source sweeps) don't rebuild the
+/// `O(n + m)` [`ReverseCsr`] per call. `rev` must be `g.reverse()` (checked
+/// by size only).
+pub fn bfs_with_strategy_rev(
+    g: &CsrGraph,
+    rev: &ReverseCsr,
+    source: u32,
+    method: CwMethod,
+    strategy: BfsStrategy,
+    pool: &ThreadPool,
+) -> BfsResult {
+    dispatch_method!(method, g.num_vertices(), |arb| bfs_core(
+        g,
+        Some(rev),
+        source,
+        &arb,
+        strategy,
+        pool
+    ))
+}
+
+/// Dense-scan BFS against an explicit arbiter (one cell per vertex,
+/// freshly armed).
 pub fn bfs_with_arbiter<A: SliceArbiter>(
     g: &CsrGraph,
     source: u32,
     arb: &A,
     pool: &ThreadPool,
 ) -> BfsResult {
+    bfs_strategy_with_arbiter(g, source, arb, BfsStrategy::DenseScan, pool)
+}
+
+/// BFS against an explicit arbiter and frontier strategy.
+pub fn bfs_strategy_with_arbiter<A: SliceArbiter>(
+    g: &CsrGraph,
+    source: u32,
+    arb: &A,
+    strategy: BfsStrategy,
+    pool: &ThreadPool,
+) -> BfsResult {
+    bfs_core(g, None, source, arb, strategy, pool)
+}
+
+fn bfs_core<A: SliceArbiter>(
+    g: &CsrGraph,
+    rev: Option<&ReverseCsr>,
+    source: u32,
+    arb: &A,
+    strategy: BfsStrategy,
+    pool: &ThreadPool,
+) -> BfsResult {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
     assert_eq!(arb.len(), n, "arbiter must span one cell per vertex");
+    if let Some(rev) = rev {
+        assert_eq!(rev.num_vertices(), n, "reverse view is for another graph");
+    }
+    match strategy {
+        BfsStrategy::DenseScan => bfs_dense(g, source, arb, pool),
+        BfsStrategy::TopDown => bfs_frontier(g, rev, source, arb, pool, false),
+        BfsStrategy::DirectionOptimizing => bfs_frontier(g, rev, source, arb, pool, true),
+    }
+}
 
-    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNREACHED)).collect();
-    let visited: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(0)).collect();
-    let parent: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect();
-    let sel_edge: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(NO_EDGE)).collect();
-    level[source as usize].store(0, Ordering::Relaxed);
-    visited[source as usize].store(1, Ordering::Relaxed);
+/// The four per-vertex output arrays, shared across strategies.
+struct BfsState {
+    level: Vec<AtomicU32>,
+    visited: Vec<AtomicU8>,
+    parent: Vec<AtomicU32>,
+    sel_edge: Vec<AtomicUsize>,
+}
 
+impl BfsState {
+    fn new(n: usize, source: u32) -> BfsState {
+        let s = BfsState {
+            level: (0..n).map(|_| AtomicU32::new(UNREACHED)).collect(),
+            visited: (0..n).map(|_| AtomicU8::new(0)).collect(),
+            parent: (0..n).map(|_| AtomicU32::new(NO_PARENT)).collect(),
+            sel_edge: (0..n).map(|_| AtomicUsize::new(NO_EDGE)).collect(),
+        };
+        s.level[source as usize].store(0, Ordering::Relaxed);
+        s.visited[source as usize].store(1, Ordering::Relaxed);
+        s
+    }
+
+    fn into_result(self, rounds: u32) -> BfsResult {
+        BfsResult {
+            level: self.level.into_iter().map(AtomicU32::into_inner).collect(),
+            parent: self.parent.into_iter().map(AtomicU32::into_inner).collect(),
+            sel_edge: self
+                .sel_edge
+                .into_iter()
+                .map(AtomicUsize::into_inner)
+                .collect(),
+            rounds,
+        }
+    }
+
+    /// The guarded four-word write. Call only as the claim winner.
+    #[inline]
+    fn commit(&self, u: usize, parent: u32, edge: usize, level: u32) {
+        self.parent[u].store(parent, Ordering::Relaxed);
+        self.sel_edge[u].store(edge, Ordering::Relaxed);
+        self.visited[u].store(1, Ordering::Relaxed);
+        self.level[u].store(level, Ordering::Relaxed);
+    }
+}
+
+/// This member's contiguous share of `0..len` (the static-block split,
+/// for loops that fold into worker-local accumulators).
+fn member_slice(len: usize, threads: usize, id: usize) -> Range<usize> {
+    (len * id / threads)..(len * (id + 1) / threads)
+}
+
+/// Gatekeeper methods need their cells re-zeroed before the next round;
+/// round-rearming methods just need the barrier `converge_rounds` requires.
+fn rearm<A: SliceArbiter>(ctx: &WorkerCtx<'_>, arb: &A, n: usize) {
+    if arb.rearms_on_new_round() {
+        ctx.barrier();
+    } else {
+        ctx.barrier();
+        ctx.for_each(0..n, Schedule::default(), |i| {
+            arb.reset_range(i..i + 1);
+        });
+    }
+}
+
+fn bfs_dense<A: SliceArbiter>(g: &CsrGraph, source: u32, arb: &A, pool: &ThreadPool) -> BfsResult {
+    let n = g.num_vertices();
+    let st = BfsState::new(n, source);
     let offsets = g.offsets();
     let targets = g.targets();
     // Eccentricity < n, plus the final no-change round.
@@ -97,48 +309,193 @@ pub fn bfs_with_arbiter<A: SliceArbiter>(
         let c = ctx.converge_rounds(max_rounds, |round, flag| {
             let l = round.get() - 1; // the level being expanded
             ctx.for_each_nowait(0..n, Schedule::default(), |v| {
-                if level[v].load(Ordering::Relaxed) != l {
+                if st.level[v].load(Ordering::Relaxed) != l {
                     return;
                 }
                 #[allow(clippy::needless_range_loop)] // j is the edge id recorded in sel_edge
                 for j in offsets[v]..offsets[v + 1] {
                     let u = targets[j] as usize;
-                    if visited[u].load(Ordering::Relaxed) == 0 {
+                    if st.visited[u].load(Ordering::Relaxed) == 0 {
                         // The concurrent write: claim vertex u for this
                         // level, then perform the four-word update.
                         if arb.try_claim(u, round) {
-                            parent[u].store(v as u32, Ordering::Relaxed);
-                            sel_edge[u].store(j, Ordering::Relaxed);
-                            visited[u].store(1, Ordering::Relaxed);
-                            level[u].store(l + 1, Ordering::Relaxed);
+                            st.commit(u, v as u32, j, l + 1);
                             flag.set(); // the paper's `done = false`
                         }
                     }
                 }
             });
-            if arb.rearms_on_new_round() {
-                // CAS-LT / naive / lock: advancing the round re-arms every
-                // cell; just meet at the barrier converge_rounds requires.
-                ctx.barrier();
-            } else {
-                // Gatekeeper methods: the paper's Figure 3(b) lines 34–35 —
-                // a full parallel re-zeroing pass before the next round.
-                ctx.barrier();
-                ctx.for_each(0..n, Schedule::default(), |i| {
-                    arb.reset_range(i..i + 1);
-                });
-            }
+            rearm(ctx, arb, n);
         });
         // Every member observed the same convergence result.
         rounds.store(c.rounds, Ordering::Relaxed);
     });
 
-    BfsResult {
-        level: level.into_iter().map(AtomicU32::into_inner).collect(),
-        parent: parent.into_iter().map(AtomicU32::into_inner).collect(),
-        sel_edge: sel_edge.into_iter().map(AtomicUsize::into_inner).collect(),
-        rounds: rounds.into_inner(),
-    }
+    st.into_result(rounds.into_inner())
+}
+
+/// Frontier-centric BFS: top-down sparse queue, optionally switching to a
+/// bottom-up bitmap pull (`allow_pull` = direction-optimizing).
+fn bfs_frontier<A: SliceArbiter>(
+    g: &CsrGraph,
+    rev: Option<&ReverseCsr>,
+    source: u32,
+    arb: &A,
+    pool: &ThreadPool,
+    allow_pull: bool,
+) -> BfsResult {
+    let n = g.num_vertices();
+    let m = g.num_directed_edges();
+    let st = BfsState::new(n, source);
+    let offsets = g.offsets();
+    let targets = g.targets();
+    // The in-edge view (with edge provenance for sel_edge) is only needed
+    // if a pull round can happen; build it unless the caller already did.
+    let rev_owned;
+    let rev = if allow_pull && rev.is_none() {
+        rev_owned = g.reverse();
+        Some(&rev_owned)
+    } else {
+        rev
+    };
+
+    // Double-buffered frontier in both representations; which pair member
+    // is "current" is tracked per worker and advances in lockstep because
+    // every direction decision is derived from team-wide reductions.
+    let queues = [
+        FrontierBuffer::with_capacity(n),
+        FrontierBuffer::with_capacity(n),
+    ];
+    let bitmaps = [AtomicBitmap::new(n.max(1)), AtomicBitmap::new(n.max(1))];
+    queues[0].publish(&[source as u64]);
+
+    let max_rounds = n as u32 + 1;
+    let rounds = AtomicU32::new(0);
+
+    pool.run(|ctx| {
+        let threads = ctx.num_threads();
+        let id = ctx.thread_id();
+        let mut qi = 0usize; // queues[qi] holds the current frontier...
+        let mut bi = 0usize; // ...or bitmaps[bi] does, when cur_is_bits
+        let mut cur_is_bits = false;
+
+        let c = ctx.converge_rounds(max_rounds, |round, flag| {
+            let l = round.get() - 1;
+
+            // Frontier stats (size, out-edges) — O(1) per vertex thanks to
+            // the CSR degree prefix sum; team-combined by one reduction.
+            let (fsize, fedges) = if cur_is_bits {
+                let bits = &bitmaps[bi];
+                let (mut s, mut e) = (0usize, 0usize);
+                for w in member_slice(bits.num_words(), threads, id) {
+                    bits.for_each_set_in_word(w, |v| {
+                        s += 1;
+                        e += offsets[v + 1] - offsets[v];
+                    });
+                }
+                ctx.reduce((s, e), |a, b| (a.0 + b.0, a.1 + b.1))
+            } else {
+                let q = &queues[qi];
+                let e = ctx.frontier_edge_count(q, |v| {
+                    let v = v as usize;
+                    offsets[v + 1] - offsets[v]
+                });
+                (q.len(), e)
+            };
+
+            // Direction heuristic (Beamer): identical on every member.
+            let pull = allow_pull
+                && if cur_is_bits {
+                    fsize >= n / DIRECTION_BETA
+                } else {
+                    fedges > m / DIRECTION_ALPHA
+                };
+
+            // Representation conversion when the direction flips.
+            if pull && !cur_is_bits {
+                let bits = &bitmaps[bi];
+                let q = &queues[qi];
+                ctx.for_each(0..bits.num_words(), Schedule::default(), |w| {
+                    bits.clear_word(w);
+                });
+                ctx.for_each(0..q.len(), Schedule::default(), |i| {
+                    bits.insert(q.get(i) as usize);
+                });
+                cur_is_bits = true;
+            } else if !pull && cur_is_bits {
+                let bits = &bitmaps[bi];
+                let q = &queues[qi];
+                ctx.barrier_with(|| q.clear());
+                let mut local = LocalBuffer::new();
+                ctx.for_each_nowait(0..bits.num_words(), Schedule::default(), |w| {
+                    bits.for_each_set_in_word(w, |v| local.push(v as u64, q));
+                });
+                local.flush(q);
+                ctx.barrier();
+                cur_is_bits = false;
+            }
+
+            if pull {
+                // Bottom-up: every unvisited vertex scans its in-edges and
+                // stops at the first frontier neighbor. The claim still
+                // arbitrates the four-word write (and is the sole frontier
+                // insertion point), though in pull form each target has a
+                // single prospective writer.
+                let rev = rev.expect("pull implies reverse view");
+                let cur = &bitmaps[bi];
+                let next = &bitmaps[1 - bi];
+                ctx.for_each(0..next.num_words(), Schedule::default(), |w| {
+                    next.clear_word(w);
+                });
+                ctx.for_each_nowait(0..n, Schedule::Dynamic { chunk: 64 }, |v| {
+                    if st.visited[v].load(Ordering::Relaxed) != 0 {
+                        return;
+                    }
+                    for (w, e) in rev.in_edges(v as u32) {
+                        if cur.contains(w as usize) {
+                            if arb.try_claim(v, round) {
+                                st.commit(v, w, e, l + 1);
+                                next.insert(v);
+                                flag.set();
+                            }
+                            break;
+                        }
+                    }
+                });
+                rearm(ctx, arb, n);
+                bi = 1 - bi;
+                cur_is_bits = true;
+            } else {
+                // Top-down: expand the queue with degree-weighted chunks,
+                // staging discoveries in per-worker buffers.
+                let cur = &queues[qi];
+                let next = &queues[1 - qi];
+                ctx.barrier_with(|| next.clear());
+                let mut local = LocalBuffer::new();
+                ctx.for_each_frontier(cur, fedges, FRONTIER_GRAIN_EDGES, |vu| {
+                    let v = vu as usize;
+                    #[allow(clippy::needless_range_loop)] // j is the edge id in sel_edge
+                    for j in offsets[v]..offsets[v + 1] {
+                        let u = targets[j] as usize;
+                        if st.visited[u].load(Ordering::Relaxed) == 0 && arb.try_claim(u, round) {
+                            st.commit(u, v as u32, j, l + 1);
+                            local.push(u as u64, next);
+                            flag.set();
+                        }
+                    }
+                });
+                // Publication is still ordered before the next round's
+                // reads by the rearm/convergence barriers.
+                local.flush(next);
+                rearm(ctx, arb, n);
+                qi = 1 - qi;
+                cur_is_bits = false;
+            }
+        });
+        ctx.master(|| rounds.store(c.rounds, Ordering::Relaxed));
+    });
+
+    st.into_result(rounds.into_inner())
 }
 
 /// Check a [`BfsResult`]'s distances against the serial reference.
@@ -231,8 +588,10 @@ mod tests {
         ];
         for g in &cases {
             for m in CwMethod::ALL.into_iter().filter(|m| m.single_winner()) {
-                let r = bfs(g, 0, m, &pool);
-                verify_bfs_tree(g, 0, &r).unwrap_or_else(|e| panic!("{m}: {e}"));
+                for s in BfsStrategy::ALL {
+                    let r = bfs_with_strategy(g, 0, m, s, &pool);
+                    verify_bfs_tree(g, 0, &r).unwrap_or_else(|e| panic!("{m}/{s}: {e}"));
+                }
             }
         }
     }
@@ -261,21 +620,62 @@ mod tests {
     }
 
     #[test]
+    fn strategies_agree_on_levels_and_round_counts() {
+        let pool = ThreadPool::new(4);
+        for seed in 0..3 {
+            let edges = GraphGen::new(seed).gnm(150, 400);
+            let g = graph(150, &edges);
+            let dense = bfs_with_strategy(&g, 3, CwMethod::CasLt, BfsStrategy::DenseScan, &pool);
+            for s in [BfsStrategy::TopDown, BfsStrategy::DirectionOptimizing] {
+                let r = bfs_with_strategy(&g, 3, CwMethod::CasLt, s, &pool);
+                assert_eq!(r.level, dense.level, "seed {seed} {s}");
+                assert_eq!(r.rounds, dense.rounds, "seed {seed} {s}");
+                verify_bfs_tree(&g, 3, &r).unwrap_or_else(|e| panic!("seed {seed} {s}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn direction_optimizing_pulls_on_dense_frontiers() {
+        // A star forces an immediate huge frontier: round 2 must pull.
+        let pool = ThreadPool::new(4);
+        let g = graph(2000, &GraphGen::star(2000));
+        for m in [CwMethod::CasLt, CwMethod::Gatekeeper] {
+            let r = bfs_with_strategy(&g, 0, m, BfsStrategy::DirectionOptimizing, &pool);
+            verify_bfs_tree(&g, 0, &r).unwrap_or_else(|e| panic!("{m}: {e}"));
+            assert!(r.level[1..].iter().all(|&l| l == 1));
+        }
+    }
+
+    #[test]
+    fn top_down_on_long_paths() {
+        let pool = ThreadPool::new(4);
+        let g = graph(512, &GraphGen::path(512));
+        let r = bfs_with_strategy(&g, 0, CwMethod::CasLt, BfsStrategy::TopDown, &pool);
+        verify_bfs_tree(&g, 0, &r).unwrap();
+        assert_eq!(r.rounds, 512);
+    }
+
+    #[test]
     fn rounds_equal_eccentricity_plus_one() {
         let pool = ThreadPool::new(2);
         let g = graph(6, &GraphGen::path(6));
-        let r = bfs(&g, 0, CwMethod::CasLt, &pool);
-        // Levels 0..=4 expand something; the 6th round finds no change.
-        assert_eq!(r.rounds, 6);
+        for s in BfsStrategy::ALL {
+            let r = bfs_with_strategy(&g, 0, CwMethod::CasLt, s, &pool);
+            // Levels 0..=4 expand something; the 6th round finds no change.
+            assert_eq!(r.rounds, 6, "{s}");
+        }
     }
 
     #[test]
     fn isolated_source_terminates_immediately() {
         let pool = ThreadPool::new(2);
         let g = graph(3, &[(1, 2)]);
-        let r = bfs(&g, 0, CwMethod::CasLt, &pool);
-        assert_eq!(r.level, vec![0, UNREACHED, UNREACHED]);
-        assert_eq!(r.rounds, 1);
+        for s in BfsStrategy::ALL {
+            let r = bfs_with_strategy(&g, 0, CwMethod::CasLt, s, &pool);
+            assert_eq!(r.level, vec![0, UNREACHED, UNREACHED], "{s}");
+            assert_eq!(r.rounds, 1, "{s}");
+        }
     }
 
     #[test]
@@ -284,16 +684,20 @@ mod tests {
         // Multigraph: duplicate edges mean several candidate sel_edges; any
         // one of them is valid, and verify checks the chosen one is real.
         let g = graph(3, &[(0, 1), (0, 1), (1, 2)]);
-        let r = bfs(&g, 0, CwMethod::CasLt, &pool);
-        verify_bfs_tree(&g, 0, &r).unwrap();
+        for s in BfsStrategy::ALL {
+            let r = bfs_with_strategy(&g, 0, CwMethod::CasLt, s, &pool);
+            verify_bfs_tree(&g, 0, &r).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
     }
 
     #[test]
     fn self_loops_are_harmless() {
         let pool = ThreadPool::new(2);
         let g = graph(3, &[(0, 0), (0, 1), (1, 2)]);
-        let r = bfs(&g, 0, CwMethod::Gatekeeper, &pool);
-        verify_bfs_tree(&g, 0, &r).unwrap();
+        for s in BfsStrategy::ALL {
+            let r = bfs_with_strategy(&g, 0, CwMethod::Gatekeeper, s, &pool);
+            verify_bfs_tree(&g, 0, &r).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
     }
 
     #[test]

@@ -32,7 +32,7 @@
 use std::sync::atomic::{AtomicU32, AtomicU8, AtomicUsize, Ordering};
 
 use pram_core::{Round, SliceArbiter};
-use pram_exec::{Schedule, ThreadPool, WorkerCtx};
+use pram_exec::{FrontierBuffer, LocalBuffer, Schedule, ThreadPool, WorkerCtx};
 use pram_graph::CsrGraph;
 
 use crate::method::{dispatch_method, CwMethod};
@@ -77,7 +77,9 @@ pub struct CcResult {
 /// assert_eq!(r.labels, vec![0, 0, 0, 0, 4, 4, 4, 4]);
 /// ```
 pub fn connected_components(g: &CsrGraph, method: CwMethod, pool: &ThreadPool) -> CcResult {
-    dispatch_method!(method, g.num_vertices(), |arb| cc_with_arbiter(g, &arb, pool))
+    dispatch_method!(method, g.num_vertices(), |arb| cc_with_arbiter(
+        g, &arb, pool
+    ))
 }
 
 /// The kernel against an explicit arbiter (one cell per vertex, freshly
@@ -180,8 +182,167 @@ pub fn cc_with_arbiter<A: SliceArbiter>(g: &CsrGraph, arb: &A, pool: &ThreadPool
     });
 
     let d: Vec<u32> = d.into_iter().map(AtomicU32::into_inner).collect();
-    let labels =
-        pram_graph::serial::canonical_labels_from(|v| d[d[v as usize] as usize], n);
+    let labels = pram_graph::serial::canonical_labels_from(|v| d[d[v as usize] as usize], n);
+    CcResult {
+        labels,
+        hook_edge: hook_edge.into_iter().map(AtomicUsize::into_inner).collect(),
+        iterations: iterations.into_inner(),
+        converged: converged.into_inner() != 0,
+    }
+}
+
+/// Awerbuch–Shiloach with an **active-edge worklist**: like
+/// [`connected_components`], but each iteration ends by compacting the edge
+/// list, permanently dropping every edge whose endpoints already share a
+/// parent (`D[u] == D[v]`).
+///
+/// The drop is safe because trees only ever merge: once two endpoints are
+/// in the same tree they remain in the same component forever, so the edge
+/// can never again hook two *distinct* trees. As components coalesce, the
+/// per-iteration hooking work shrinks from `O(m)` towards zero while the
+/// fixed `O(n)` star/snapshot/shortcut passes are untouched — the same
+/// frontier-centric trade the sparse BFS strategies make.
+///
+/// The compacted list lives in a double-buffered
+/// [`pram_exec::FrontierBuffer`] of edge indices, rebuilt with per-worker
+/// [`pram_exec::LocalBuffer`]s. Arbitration is byte-for-byte the kernel of
+/// [`cc_with_arbiter`]: the same `try_claim(root, round)` guards the same
+/// two-array hook write, so every concurrent-write method dispatches
+/// unchanged.
+pub fn connected_components_worklist(
+    g: &CsrGraph,
+    method: CwMethod,
+    pool: &ThreadPool,
+) -> CcResult {
+    dispatch_method!(method, g.num_vertices(), |arb| cc_worklist_with_arbiter(
+        g, &arb, pool
+    ))
+}
+
+/// The worklist kernel against an explicit arbiter (one cell per vertex,
+/// freshly armed).
+pub fn cc_worklist_with_arbiter<A: SliceArbiter>(
+    g: &CsrGraph,
+    arb: &A,
+    pool: &ThreadPool,
+) -> CcResult {
+    let n = g.num_vertices();
+    assert_eq!(arb.len(), n, "arbiter must span one cell per vertex");
+    let edges: Vec<(u32, u32)> = g.directed_edges().collect();
+    let m = edges.len();
+
+    let d: Vec<AtomicU32> = (0..n).map(|v| AtomicU32::new(v as u32)).collect();
+    let d_snap: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+    let star: Vec<AtomicU8> = (0..n).map(|_| AtomicU8::new(1)).collect();
+    let hook_edge: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(NO_HOOK)).collect();
+
+    // Double-buffered active-edge list, initially every directed edge.
+    let work = [
+        FrontierBuffer::with_capacity(m),
+        FrontierBuffer::with_capacity(m),
+    ];
+    let all: Vec<u64> = (0..m as u64).collect();
+    work[0].publish(&all);
+    drop(all);
+
+    let max_iters = 4 * (usize::BITS - n.max(2).leading_zeros()) + 16;
+    let iterations = AtomicU32::new(0);
+    let converged = AtomicU8::new(0);
+
+    pool.run(|ctx| {
+        let sched = Schedule::default();
+        let mut wi = 0usize; // work[wi] is the current active-edge list
+
+        let star_pass = |ctx: &WorkerCtx<'_>| {
+            ctx.for_each(0..n, sched, |v| star[v].store(1, Ordering::Relaxed));
+            ctx.for_each(0..n, sched, |v| {
+                let dv = d[v].load(Ordering::Relaxed) as usize;
+                let ddv = d[dv].load(Ordering::Relaxed) as usize;
+                if dv != ddv {
+                    star[v].store(0, Ordering::Relaxed);
+                    star[ddv].store(0, Ordering::Relaxed);
+                }
+            });
+            ctx.for_each(0..n, sched, |v| {
+                let dv = d[v].load(Ordering::Relaxed) as usize;
+                let ddv = d[dv].load(Ordering::Relaxed) as usize;
+                star[v].store(star[ddv].load(Ordering::Relaxed), Ordering::Relaxed);
+            });
+        };
+        let snapshot = |ctx: &WorkerCtx<'_>| {
+            ctx.for_each(0..n, sched, |v| {
+                d_snap[v].store(d[v].load(Ordering::Relaxed), Ordering::Relaxed)
+            });
+        };
+
+        let c = ctx.converge_rounds(max_iters, |iter_round, flag| {
+            let i = iter_round.get() - 1;
+            let hook_rounds = [
+                Round::from_iteration(2 * i),
+                Round::from_iteration(2 * i + 1),
+            ];
+            let cur = &work[wi];
+            let wlen = cur.len();
+
+            for (phase, &round) in hook_rounds.iter().enumerate() {
+                let conditional = phase == 0;
+                star_pass(ctx);
+                snapshot(ctx);
+                // Hooking now walks only the active edges.
+                ctx.for_each(0..wlen, sched, |k| {
+                    let e = cur.get(k) as usize;
+                    let (u, v) = edges[e];
+                    if star[u as usize].load(Ordering::Relaxed) == 0 {
+                        return;
+                    }
+                    let du = d_snap[u as usize].load(Ordering::Relaxed);
+                    let dv = d_snap[v as usize].load(Ordering::Relaxed);
+                    let should = if conditional { dv < du } else { dv != du };
+                    if should && arb.try_claim(du as usize, round) {
+                        d[du as usize].store(dv, Ordering::Relaxed);
+                        hook_edge[du as usize].store(e, Ordering::Relaxed);
+                        flag.set();
+                    }
+                });
+                if !arb.rearms_on_new_round() {
+                    ctx.for_each(0..n, sched, |v| arb.reset_range(v..v + 1));
+                }
+            }
+
+            ctx.for_each(0..n, sched, |v| {
+                let dv = d[v].load(Ordering::Relaxed);
+                let ddv = d[dv as usize].load(Ordering::Relaxed);
+                if ddv != dv {
+                    d[v].store(ddv, Ordering::Relaxed);
+                    flag.set();
+                }
+            });
+
+            // Compact: keep only edges whose endpoints still have distinct
+            // parents. `D[u] == D[v]` ⇒ same tree ⇒ same component forever,
+            // so dropped edges can never hook again.
+            let next = &work[1 - wi];
+            ctx.barrier_with(|| next.clear());
+            let mut local = LocalBuffer::new();
+            ctx.for_each_nowait(0..wlen, sched, |k| {
+                let e = cur.get(k) as usize;
+                let (u, v) = edges[e];
+                if d[u as usize].load(Ordering::Relaxed) != d[v as usize].load(Ordering::Relaxed) {
+                    local.push(e as u64, next);
+                }
+            });
+            local.flush(next);
+            ctx.barrier();
+            wi = 1 - wi;
+        });
+        ctx.master(|| {
+            iterations.store(c.rounds, Ordering::Relaxed);
+            converged.store(u8::from(c.converged), Ordering::Relaxed);
+        });
+    });
+
+    let d: Vec<u32> = d.into_iter().map(AtomicU32::into_inner).collect();
+    let labels = pram_graph::serial::canonical_labels_from(|v| d[d[v as usize] as usize], n);
     CcResult {
         labels,
         hook_edge: hook_edge.into_iter().map(AtomicUsize::into_inner).collect(),
@@ -315,6 +476,38 @@ mod tests {
         // One component; at least one root must have been hooked.
         assert!(r.hook_edge.iter().any(|&e| e != NO_HOOK));
         verify_cc(&g, &r).unwrap();
+    }
+
+    #[test]
+    fn worklist_matches_reference_on_structured_graphs() {
+        let pool = ThreadPool::new(4);
+        let cases = vec![
+            graph(1, &[]),
+            graph(5, &[]),
+            graph(5, &GraphGen::path(5)),
+            graph(8, &GraphGen::star(8)),
+            graph(12, &GraphGen::disjoint_cliques(3, 4)),
+            graph(9, &GraphGen::grid(3, 3)),
+        ];
+        for g in &cases {
+            for m in single_winner_methods() {
+                let r = connected_components_worklist(g, m, &pool);
+                verify_cc(g, &r).unwrap_or_else(|e| panic!("{m}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn worklist_agrees_with_dense_labels_on_random_graphs() {
+        let pool = ThreadPool::new(4);
+        for seed in 0..4 {
+            let edges = GraphGen::new(seed).gnm(150, 350);
+            let g = graph(150, &edges);
+            let dense = connected_components(&g, CwMethod::CasLt, &pool);
+            let sparse = connected_components_worklist(&g, CwMethod::CasLt, &pool);
+            assert_eq!(sparse.labels, dense.labels, "seed {seed}");
+            verify_cc(&g, &sparse).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
     }
 
     #[test]

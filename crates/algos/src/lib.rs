@@ -12,7 +12,9 @@
 //!   writes.
 //! * [`mod@bfs`] — the Rodinia-style level-synchronous breadth-first search
 //!   (paper Figure 3): per-level frontier expansion whose vertex-claiming
-//!   write updates four arrays at once.
+//!   write updates four arrays at once. Besides the paper's dense scan, a
+//!   sparse top-down and a Beamer-style direction-optimizing frontier
+//!   strategy run on the same claim substrate ([`BfsStrategy`]).
 //! * [`cc`] — Awerbuch–Shiloach connected components: star-based hooking,
 //!   the paper's *arbitrary* concurrent-write benchmark (no safe naive
 //!   variant exists, as §7.3 explains — hooking updates multiple arrays).
@@ -48,8 +50,8 @@ pub mod scan;
 pub mod sv;
 
 pub use any::{first_true, logical_or};
-pub use bfs::{bfs, BfsResult};
-pub use cc::{connected_components, CcResult};
+pub use bfs::{bfs, bfs_with_strategy, bfs_with_strategy_rev, BfsResult, BfsStrategy};
+pub use cc::{connected_components, connected_components_worklist, CcResult};
 pub use list_rank::list_rank;
 pub use matching::{maximal_matching, MatchingResult};
 pub use max::max_index;

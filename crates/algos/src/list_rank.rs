@@ -109,7 +109,11 @@ pub fn list_rank_serial(next: &[u32]) -> Vec<u32> {
             }
         }
         let mut base = if next[v as usize] == v {
-            rank[v as usize] = if rank[v as usize] == u32::MAX { 0 } else { rank[v as usize] };
+            rank[v as usize] = if rank[v as usize] == u32::MAX {
+                0
+            } else {
+                rank[v as usize]
+            };
             rank[v as usize]
         } else {
             rank[v as usize]

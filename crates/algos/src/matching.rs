@@ -139,12 +139,17 @@ pub fn verify_matching(g: &CsrGraph, r: &MatchingResult) -> Result<(), String> {
     }
     for (u, v) in g.directed_edges() {
         if r.partner[u as usize] == UNMATCHED && r.partner[v as usize] == UNMATCHED {
-            return Err(format!("not maximal: edge ({u}, {v}) has two free endpoints"));
+            return Err(format!(
+                "not maximal: edge ({u}, {v}) has two free endpoints"
+            ));
         }
     }
     let matched = r.partner.iter().filter(|&&p| p != UNMATCHED).count();
     if matched / 2 != r.pairs {
-        return Err(format!("pair count {} disagrees with array ({matched} matched)", r.pairs));
+        return Err(format!(
+            "pair count {} disagrees with array ({matched} matched)",
+            r.pairs
+        ));
     }
     Ok(())
 }

@@ -38,7 +38,9 @@ pub struct SvResult {
 /// Hook-to-minimum Shiloach–Vishkin under the given concurrent-write
 /// method.
 pub fn sv_components(g: &CsrGraph, method: CwMethod, pool: &ThreadPool) -> SvResult {
-    dispatch_method!(method, g.num_vertices(), |arb| sv_with_arbiter(g, &arb, pool))
+    dispatch_method!(method, g.num_vertices(), |arb| sv_with_arbiter(
+        g, &arb, pool
+    ))
 }
 
 /// The kernel against an explicit arbiter (one cell per vertex).
@@ -70,11 +72,13 @@ pub fn sv_with_arbiter<A: SliceArbiter>(g: &CsrGraph, arb: &A, pool: &ThreadPool
                 // Only roots hook (racy check; the claim makes it safe —
                 // at most one writer per root per round, and committed
                 // values strictly decrease, so stale reads cannot cycle).
-                if dv < du && d[du as usize].load(Ordering::Relaxed) == du
-                    && arb.try_claim(du as usize, round) {
-                        d[du as usize].store(dv, Ordering::Relaxed);
-                        flag.set();
-                    }
+                if dv < du
+                    && d[du as usize].load(Ordering::Relaxed) == du
+                    && arb.try_claim(du as usize, round)
+                {
+                    d[du as usize].store(dv, Ordering::Relaxed);
+                    flag.set();
+                }
             });
             if !arb.rearms_on_new_round() {
                 ctx.for_each(0..n, sched, |v| arb.reset_range(v..v + 1));
@@ -94,14 +98,17 @@ pub fn sv_with_arbiter<A: SliceArbiter>(g: &CsrGraph, arb: &A, pool: &ThreadPool
     });
 
     let d: Vec<u32> = d.into_iter().map(AtomicU32::into_inner).collect();
-    let labels = pram_graph::serial::canonical_labels_from(|v| {
-        // Fully contract (serial, tiny): follow pointers to the root.
-        let mut x = v;
-        while d[x as usize] != x {
-            x = d[x as usize];
-        }
-        x
-    }, n);
+    let labels = pram_graph::serial::canonical_labels_from(
+        |v| {
+            // Fully contract (serial, tiny): follow pointers to the root.
+            let mut x = v;
+            while d[x as usize] != x {
+                x = d[x as usize];
+            }
+            x
+        },
+        n,
+    );
     SvResult {
         labels,
         iterations: iterations.into_inner(),

@@ -11,7 +11,10 @@ use pram_exec::ThreadPool;
 
 const THREADS: usize = 4;
 
-fn tuned<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn tuned<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(10)
         .measurement_time(Duration::from_secs(2))

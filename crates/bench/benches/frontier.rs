@@ -1,0 +1,191 @@
+//! Frontier-strategy bench group: dense scan vs sparse top-down vs
+//! direction-optimizing BFS, across the single-winner concurrent-write
+//! methods, on three frontier shapes:
+//!
+//! * `rmat18` — skewed R-MAT (2^18 vertices): frontiers explode after one
+//!   hop, so the direction-optimizing switch pulls for the few dense levels
+//!   and avoids both the per-level O(n) scan and most edge traversals.
+//! * `path14` — a path (2^14 vertices): maximal depth, one-vertex
+//!   frontiers. The dense scan pays O(n) *per level* (O(n²) total); the
+//!   sparse strategies pay O(1) per level plus barrier overhead.
+//! * `star18` — a star (2^18 vertices): a single, maximally dense level.
+//!
+//! Also times dense vs worklist connected components on `rmat18`.
+//!
+//! Run with `cargo bench -p pram-bench --bench frontier`; set
+//! `PRAM_BENCH_THREADS` / `PRAM_BENCH_REPS` to override the defaults.
+//! Writes `BENCH_frontier.json` into the repository root (override the
+//! directory with `PRAM_BENCH_OUT`).
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use pram_algos::bfs::{bfs_with_strategy_rev, BfsStrategy, DIRECTION_ALPHA, DIRECTION_BETA};
+use pram_algos::{connected_components, connected_components_worklist, CwMethod};
+use pram_bench::{ms, time_median};
+use pram_exec::ThreadPool;
+use pram_graph::{CsrGraph, GraphGen};
+
+/// The four single-winner methods the figure sweeps (CAS-LT-padded is an
+/// ablation, covered in `ablations.rs`).
+const METHODS: [CwMethod; 4] = [
+    CwMethod::Gatekeeper,
+    CwMethod::GatekeeperSkip,
+    CwMethod::CasLt,
+    CwMethod::Lock,
+];
+
+struct Workload {
+    name: &'static str,
+    graph: CsrGraph,
+    source: u32,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Highest-degree vertex — a deterministic, always-connected source.
+fn hub(g: &CsrGraph) -> u32 {
+    (0..g.num_vertices())
+        .max_by_key(|&v| g.offsets()[v + 1] - g.offsets()[v])
+        .unwrap_or(0) as u32
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads = env_usize(
+        "PRAM_BENCH_THREADS",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    let reps = env_usize("PRAM_BENCH_REPS", if quick { 1 } else { 3 });
+    let rmat_scale: u32 = if quick { 12 } else { 18 };
+    let path_n: usize = if quick { 1 << 10 } else { 1 << 14 };
+    let star_n: usize = if quick { 1 << 12 } else { 1 << 18 };
+
+    eprintln!("frontier bench: threads={threads} reps={reps} (median reported)");
+
+    let rmat_n = 1usize << rmat_scale;
+    let workloads = [
+        Workload {
+            name: "rmat18",
+            graph: CsrGraph::from_edges(
+                rmat_n,
+                &GraphGen::new(42).rmat_standard(rmat_scale, rmat_n * 16),
+                true,
+            ),
+            source: 0, // patched to the hub below
+        },
+        Workload {
+            name: "path14",
+            graph: CsrGraph::from_edges(path_n, &GraphGen::path(path_n), true),
+            source: 0,
+        },
+        Workload {
+            name: "star18",
+            graph: CsrGraph::from_edges(star_n, &GraphGen::star(star_n), true),
+            source: 0,
+        },
+    ];
+
+    let pool = ThreadPool::new(threads);
+    let mut rows: Vec<String> = Vec::new();
+    // (graph, strategy) -> median ms under CAS-LT, for the summary.
+    let mut caslt_ms: Vec<(String, f64)> = Vec::new();
+
+    for w in &workloads {
+        let g = &w.graph;
+        // The in-edge view is graph preparation (like the CSR build
+        // itself), shared by every pull-capable traversal — not timed.
+        let rev = g.reverse();
+        let source = if w.name == "rmat18" { hub(g) } else { w.source };
+        eprintln!(
+            "-- {}: n={} m={} source={}",
+            w.name,
+            g.num_vertices(),
+            g.num_directed_edges(),
+            source
+        );
+        for method in METHODS {
+            for strategy in BfsStrategy::ALL {
+                let t = time_median(reps, || {
+                    std::hint::black_box(bfs_with_strategy_rev(
+                        g, &rev, source, method, strategy, &pool,
+                    ));
+                });
+                let t = ms(t);
+                eprintln!("   bfs/{}/{method}/{strategy}: {t:.3} ms", w.name);
+                rows.push(format!(
+                    "{{\"kernel\": \"bfs\", \"graph\": \"{}\", \"method\": \"{method}\", \
+                     \"strategy\": \"{strategy}\", \"ms\": {t:.4}}}",
+                    w.name
+                ));
+                if method == CwMethod::CasLt {
+                    caslt_ms.push((format!("{}/{strategy}", w.name), t));
+                }
+            }
+        }
+    }
+
+    // CC: dense edge list vs active-edge worklist on the skewed graph.
+    let g = &workloads[0].graph;
+    for method in METHODS {
+        for (variant, run) in [
+            ("dense", connected_components as fn(_, _, _) -> _),
+            (
+                "worklist",
+                connected_components_worklist as fn(_, _, _) -> _,
+            ),
+        ] {
+            let t = time_median(reps, || {
+                std::hint::black_box(run(g, method, &pool));
+            });
+            let t = ms(t);
+            eprintln!("   cc/rmat18/{method}/{variant}: {t:.3} ms");
+            rows.push(format!(
+                "{{\"kernel\": \"cc\", \"graph\": \"rmat18\", \"method\": \"{method}\", \
+                 \"strategy\": \"{variant}\", \"ms\": {t:.4}}}"
+            ));
+        }
+    }
+
+    for (k, t) in &caslt_ms {
+        eprintln!("summary cas-lt {k}: {t:.3} ms");
+    }
+
+    let out_dir = std::env::var("PRAM_BENCH_OUT").map_or_else(
+        |_| {
+            // benches run with CWD = crate root (crates/bench); the JSON
+            // belongs two levels up, next to EXPERIMENTS.md.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        },
+        PathBuf::from,
+    );
+    let path = out_dir.join("BENCH_frontier.json");
+    let graphs: Vec<String> = workloads
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"name\": \"{}\", \"vertices\": {}, \"directed_edges\": {}}}",
+                w.name,
+                w.graph.num_vertices(),
+                w.graph.num_directed_edges()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"frontier\",\n  \"command\": \"cargo bench -p pram-bench --bench frontier\",\n  \
+         \"threads\": {threads},\n  \"reps\": {reps},\n  \"quick\": {quick},\n  \
+         \"direction_alpha\": {DIRECTION_ALPHA},\n  \"direction_beta\": {DIRECTION_BETA},\n  \
+         \"graphs\": [\n    {}\n  ],\n  \"results\": [\n    {}\n  ]\n}}\n",
+        graphs.join(",\n    "),
+        rows.join(",\n    ")
+    );
+    let mut f = std::fs::File::create(&path).expect("create BENCH_frontier.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_frontier.json");
+    eprintln!("wrote {}", path.display());
+}

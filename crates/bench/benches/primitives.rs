@@ -8,7 +8,10 @@ use pram_core::{
     CasLtCell, GatekeeperCell, GatekeeperSkipCell, LockCell, PriorityCell, Round, RoundCounter,
 };
 
-fn tuned<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn tuned<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(20)
         .measurement_time(Duration::from_secs(2))

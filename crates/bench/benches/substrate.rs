@@ -10,7 +10,10 @@ use pram_exec::{Schedule, ThreadPool};
 
 const THREADS: usize = 4;
 
-fn tuned<'a>(c: &'a mut Criterion, name: &str) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+fn tuned<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
     g.sample_size(10)
         .measurement_time(Duration::from_secs(2))
@@ -81,5 +84,11 @@ fn reduction(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(substrate, region_entry, barrier_crossing, loop_scheduling, reduction);
+criterion_group!(
+    substrate,
+    region_entry,
+    barrier_crossing,
+    loop_scheduling,
+    reduction
+);
 criterion_main!(substrate);

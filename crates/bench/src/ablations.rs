@@ -30,7 +30,12 @@ fn scale_n(cfg: &BenchConfig) -> usize {
 type Variant<'a> = (&'a str, Box<dyn FnMut() + 'a>);
 
 /// Time one closure per variant at a single operating point.
-fn single_point(id: &str, title: &str, cfg: &BenchConfig, variants: Vec<Variant<'_>>) -> FigureResult {
+fn single_point(
+    id: &str,
+    title: &str,
+    cfg: &BenchConfig,
+    variants: Vec<Variant<'_>>,
+) -> FigureResult {
     let series = variants
         .into_iter()
         .map(|(name, mut f)| Series {

@@ -6,7 +6,10 @@
 
 use pram_algos::{bfs, connected_components, max_index, CwMethod};
 
-use crate::{make_graph, pool, sweep, thread_sweep, time_median, BenchConfig, FigureResult, ms, ScaleProfile, Series};
+use crate::{
+    make_graph, ms, pool, sweep, thread_sweep, time_median, BenchConfig, FigureResult,
+    ScaleProfile, Series,
+};
 
 /// Pseudo-random list values for the Max kernel (fixed multiplier hash of
 /// the index — reproducible without touching the seed).
@@ -89,7 +92,9 @@ fn bfs_edge_sweep(scale: ScaleProfile) -> (usize, Vec<usize>) {
         // Paper: 100 K vertices, 5 M–30 M edges.
         ScaleProfile::Paper => (
             100_000,
-            vec![5_000_000, 10_000_000, 15_000_000, 20_000_000, 25_000_000, 30_000_000],
+            vec![
+                5_000_000, 10_000_000, 15_000_000, 20_000_000, 25_000_000, 30_000_000,
+            ],
         ),
     }
 }
@@ -121,10 +126,7 @@ fn bfs_vertex_sweep(scale: ScaleProfile) -> (Vec<usize>, usize) {
         ScaleProfile::Quick => (vec![1_000, 2_000], 8_000),
         ScaleProfile::Default => (vec![5_000, 10_000, 20_000, 40_000], 200_000),
         // Paper: 30 M edges, vertex count swept.
-        ScaleProfile::Paper => (
-            vec![50_000, 100_000, 200_000, 400_000],
-            30_000_000,
-        ),
+        ScaleProfile::Paper => (vec![50_000, 100_000, 200_000, 400_000], 30_000_000),
     }
 }
 
@@ -195,7 +197,9 @@ pub fn fig10(cfg: &BenchConfig) -> FigureResult {
         ScaleProfile::Default => (10_000, vec![20_000, 50_000, 100_000, 200_000]),
         ScaleProfile::Paper => (
             100_000,
-            vec![5_000_000, 10_000_000, 15_000_000, 20_000_000, 25_000_000, 30_000_000],
+            vec![
+                5_000_000, 10_000_000, 15_000_000, 20_000_000, 25_000_000, 30_000_000,
+            ],
         ),
     };
     let p = pool(cfg.threads);
@@ -335,7 +339,9 @@ mod tests {
     #[test]
     fn by_id_resolves_all_and_rejects_unknown() {
         let cfg = quick_cfg();
-        for id in ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"] {
+        for id in [
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        ] {
             assert!(by_id(id, &cfg).is_some(), "{id}");
         }
         assert!(by_id("fig99", &cfg).is_none());

@@ -106,7 +106,11 @@ impl FigureResult {
             let _ = write!(
                 out,
                 " {:>14}",
-                format!("{}/{}", self.series[0].name, self.series.last().unwrap().name)
+                format!(
+                    "{}/{}",
+                    self.series[0].name,
+                    self.series.last().unwrap().name
+                )
             );
         }
         let _ = writeln!(out);

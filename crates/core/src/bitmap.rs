@@ -1,5 +1,5 @@
-//! Bitmap gatekeeper — a memory-compact prior-practice variant for the
-//! ablation study.
+//! Packed atomic bitmaps: a reusable dense set ([`AtomicBitmap`]) and the
+//! memory-compact bitmap gatekeeper built on it ([`BitGatekeeperArray`]).
 //!
 //! The gatekeeper method spends one 32-bit counter per target even though
 //! it only ever distinguishes zero from nonzero. Packing targets into a
@@ -10,6 +10,12 @@
 //! The `ablate_bitmap` bench quantifies the trade; the paper's CAS-LT
 //! sidesteps it entirely (per-target words, atomics skipped after the
 //! winner).
+//!
+//! The same packed representation is what a direction-optimizing BFS wants
+//! for its *dense frontier* (one membership bit per vertex, test-and-set
+//! insertion, per-word iteration during the bottom-up pull), so the word
+//! machinery lives in [`AtomicBitmap`] and the gatekeeper is a thin
+//! arbitration wrapper over it.
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -17,78 +23,197 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use crate::round::Round;
 use crate::traits::SliceArbiter;
 
-/// One-bit-per-target gatekeeper over packed `AtomicU64` words.
+/// A fixed-size set of `usize` indices packed one bit per element into
+/// `AtomicU64` words.
+///
+/// All operations are `&self` and thread-safe. Mutating operations use
+/// `Relaxed` ordering except [`AtomicBitmap::insert`] (an `AcqRel`
+/// test-and-set, so it can arbitrate); callers that read the set after a
+/// parallel build phase must separate the phases with a synchronization
+/// point (a barrier), exactly like every other concurrent-write target in
+/// this workspace.
+#[derive(Debug)]
+pub struct AtomicBitmap {
+    words: Box<[AtomicU64]>,
+    len: usize,
+}
+
+impl AtomicBitmap {
+    /// An empty set over the universe `0..len`.
+    pub fn new(len: usize) -> AtomicBitmap {
+        let n_words = len.div_ceil(64);
+        let mut v = Vec::with_capacity(n_words);
+        v.resize_with(n_words, || AtomicU64::new(0));
+        AtomicBitmap {
+            words: v.into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Universe size (maximum element + 1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the universe is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of backing 64-bit words (for word-parallel loops).
+    #[inline]
+    pub fn num_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Test-and-set `index`: returns `true` iff this call inserted it
+    /// (the bit was previously clear).
+    #[inline]
+    pub fn insert(&self, index: usize) -> bool {
+        assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
+        let bit = 1u64 << (index % 64);
+        let prev = self.words[index / 64].fetch_or(bit, Ordering::AcqRel);
+        prev & bit == 0
+    }
+
+    /// Clear `index`.
+    #[inline]
+    pub fn remove(&self, index: usize) {
+        assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
+        let bit = 1u64 << (index % 64);
+        self.words[index / 64].fetch_and(!bit, Ordering::Relaxed);
+    }
+
+    /// Membership test (`Relaxed`; authoritative only across a
+    /// synchronization point from the inserts).
+    #[inline]
+    pub fn contains(&self, index: usize) -> bool {
+        debug_assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
+        let bit = 1u64 << (index % 64);
+        self.words[index / 64].load(Ordering::Relaxed) & bit != 0
+    }
+
+    /// The raw bits of word `w` (elements `64 * w ..`).
+    #[inline]
+    pub fn word(&self, w: usize) -> u64 {
+        self.words[w].load(Ordering::Relaxed)
+    }
+
+    /// Clear word `w` (elements `64 * w .. 64 * (w + 1)`), for
+    /// word-parallel clears.
+    #[inline]
+    pub fn clear_word(&self, w: usize) {
+        self.words[w].store(0, Ordering::Relaxed);
+    }
+
+    /// Clear the whole set (single-threaded; for the parallel variant,
+    /// partition `0..num_words()` and call [`AtomicBitmap::clear_word`]).
+    pub fn clear(&self) {
+        for w in self.words.iter() {
+            w.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Call `f` for every set index in word `w`, ascending — the
+    /// word-granular iteration a parallel sweep partitions over.
+    #[inline]
+    pub fn for_each_set_in_word(&self, w: usize, mut f: impl FnMut(usize)) {
+        let mut bits = self.words[w].load(Ordering::Relaxed);
+        let base = w * 64;
+        while bits != 0 {
+            let b = bits.trailing_zeros() as usize;
+            f(base + b);
+            bits &= bits - 1;
+        }
+    }
+
+    /// Call `f` for every set index, ascending (serial full scan).
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for w in 0..self.words.len() {
+            self.for_each_set_in_word(w, &mut f);
+        }
+    }
+}
+
+/// One-bit-per-target gatekeeper over a packed [`AtomicBitmap`].
 ///
 /// Round-free like [`crate::GatekeeperArray`]: requires a reset pass
 /// before every concurrent-write round.
 #[derive(Debug)]
 pub struct BitGatekeeperArray {
-    words: Box<[AtomicU64]>,
-    len: usize,
+    bits: AtomicBitmap,
 }
 
 impl BitGatekeeperArray {
     /// `len` armed (clear) targets.
     pub fn new(len: usize) -> BitGatekeeperArray {
-        let n_words = len.div_ceil(64);
-        let mut v = Vec::with_capacity(n_words);
-        v.resize_with(n_words, || AtomicU64::new(0));
         BitGatekeeperArray {
-            words: v.into_boxed_slice(),
-            len,
+            bits: AtomicBitmap::new(len),
         }
     }
 
     /// Number of targets.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len
+        self.bits.len()
     }
 
     /// `true` if there are no targets.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.bits.is_empty()
     }
 
     /// Claim target `index`: set its bit; win iff it was clear.
     #[inline]
     pub fn try_claim_once(&self, index: usize) -> bool {
-        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
-        let bit = 1u64 << (index % 64);
-        let prev = self.words[index / 64].fetch_or(bit, Ordering::AcqRel);
-        prev & bit == 0
+        self.bits.insert(index)
     }
 
     /// Auxiliary memory in bytes (for the ablation's space accounting).
     pub fn aux_bytes(&self) -> usize {
-        self.words.len() * 8
+        self.bits.num_words() * 8
     }
 }
 
 impl SliceArbiter for BitGatekeeperArray {
     fn len(&self) -> usize {
-        self.len
+        self.bits.len()
     }
     #[inline]
     fn try_claim(&self, index: usize, _round: Round) -> bool {
         self.try_claim_once(index)
     }
     fn reset_all(&self) {
-        for w in self.words.iter() {
-            w.store(0, Ordering::Relaxed);
-        }
+        self.bits.clear();
     }
     fn reset_range(&self, range: Range<usize>) {
-        // Word-granular: a range reset may only be used when the range is
-        // word-aligned or the adjacent targets are quiescent — the kernels
-        // here always reset between rounds, where everything is quiescent,
-        // so clearing whole covering words (and re-claiming nothing) is
-        // exact as long as concurrent ranges touch disjoint words. To stay
-        // safe for *any* disjoint index ranges, clear bits individually.
+        // Bit-granular (not word-granular) so concurrent resets of *any*
+        // disjoint index ranges are exact even when they share a word.
         for i in range {
-            let bit = 1u64 << (i % 64);
-            self.words[i / 64].fetch_and(!bit, Ordering::Relaxed);
+            self.bits.remove(i);
         }
     }
     fn rearms_on_new_round(&self) -> bool {
@@ -166,11 +291,7 @@ mod tests {
     fn slice_arbiter_round_is_ignored() {
         let b = BitGatekeeperArray::new(1);
         assert!(SliceArbiter::try_claim(&b, 0, Round::FIRST));
-        assert!(!SliceArbiter::try_claim(
-            &b,
-            0,
-            Round::from_iteration(5)
-        ));
+        assert!(!SliceArbiter::try_claim(&b, 0, Round::from_iteration(5)));
         assert!(!b.rearms_on_new_round());
     }
 
@@ -187,5 +308,77 @@ mod tests {
         assert!(b.is_empty());
         assert_eq!(b.aux_bytes(), 0);
         b.reset_all();
+    }
+
+    #[test]
+    fn atomic_bitmap_insert_contains_remove() {
+        let s = AtomicBitmap::new(130);
+        assert!(!s.contains(65));
+        assert!(s.insert(65));
+        assert!(!s.insert(65)); // already present
+        assert!(s.contains(65));
+        assert_eq!(s.count_ones(), 1);
+        s.remove(65);
+        assert!(!s.contains(65));
+        assert_eq!(s.count_ones(), 0);
+        assert_eq!(s.num_words(), 3);
+        assert_eq!(s.len(), 130);
+    }
+
+    #[test]
+    fn atomic_bitmap_word_iteration_is_ascending_and_complete() {
+        let s = AtomicBitmap::new(200);
+        let members = [0usize, 1, 63, 64, 100, 127, 128, 199];
+        for &i in &members {
+            s.insert(i);
+        }
+        let mut seen = Vec::new();
+        s.for_each_set(|i| seen.push(i));
+        assert_eq!(seen, members);
+
+        let mut word2 = Vec::new();
+        s.for_each_set_in_word(2, |i| word2.push(i));
+        assert_eq!(word2, vec![128]); // word 2 spans bits 128..192
+        let mut word3 = Vec::new();
+        s.for_each_set_in_word(3, |i| word3.push(i));
+        assert_eq!(word3, vec![199]);
+    }
+
+    #[test]
+    fn atomic_bitmap_clear_variants() {
+        let s = AtomicBitmap::new(128);
+        for i in 0..128 {
+            s.insert(i);
+        }
+        s.clear_word(0);
+        assert_eq!(s.count_ones(), 64);
+        s.clear();
+        assert_eq!(s.count_ones(), 0);
+    }
+
+    #[test]
+    fn atomic_bitmap_insert_arbitrates_under_contention() {
+        let s = AtomicBitmap::new(64);
+        let wins = AtomicUsize::new(0);
+        std::thread::scope(|h| {
+            for _ in 0..8 {
+                h.spawn(|| {
+                    for i in 0..64 {
+                        if s.insert(i) {
+                            wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(wins.load(Ordering::Relaxed), 64);
+        assert_eq!(s.count_ones(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn atomic_bitmap_bounds_checked() {
+        let s = AtomicBitmap::new(10);
+        s.insert(10);
     }
 }

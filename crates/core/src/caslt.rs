@@ -85,8 +85,16 @@ impl CasLtCell {
         // stale value) to `round` succeeds; the rest observe the new value
         // and fail. `compare_exchange` (strong) keeps the wait-free bound —
         // a spurious failure of the weak variant would force a retry loop.
+        //
+        // Failure ordering is `Relaxed` because the loaded-on-failure value
+        // is discarded: a loser returns `false` and performs no dependent
+        // reads of the winner's payload — those happen only after the
+        // round's synchronization point, which supplies the happens-before
+        // edge (the same argument as the fast path's `Relaxed` load; see
+        // crate::ordering). An `Acquire` failure ordering would order
+        // against a value nobody looks at.
         self.last_round_updated
-            .compare_exchange(current, round.get(), Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(current, round.get(), Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
     }
 
@@ -170,8 +178,10 @@ impl CasLtCell64 {
         if current >= round {
             return false;
         }
+        // Relaxed failure ordering for the same reason as
+        // [`CasLtCell::try_claim`]: the failure value is discarded.
         self.last_round_updated
-            .compare_exchange(current, round, Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(current, round, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
     }
 

@@ -72,7 +72,10 @@ impl GatekeeperCell {
     #[inline]
     pub fn try_claim_once(&self) -> bool {
         let prev = self.gatekeeper.fetch_add(1, Ordering::AcqRel);
-        debug_assert!(prev != u32::MAX, "gatekeeper wrapped: reset discipline violated");
+        debug_assert!(
+            prev != u32::MAX,
+            "gatekeeper wrapped: reset discipline violated"
+        );
         prev == 0
     }
 

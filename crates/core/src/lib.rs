@@ -91,7 +91,7 @@ pub mod round;
 pub mod stats;
 pub mod traits;
 
-pub use bitmap::BitGatekeeperArray;
+pub use bitmap::{AtomicBitmap, BitGatekeeperArray};
 pub use caslt::{
     AlwaysRmwCasLtArray, CasLtArray, CasLtArray64, CasLtCell, CasLtCell64, PaddedCasLtArray,
 };

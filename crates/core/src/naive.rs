@@ -68,7 +68,11 @@ impl SliceArbiter for NaiveArbiter {
     }
     #[inline]
     fn try_claim(&self, index: usize, _round: Round) -> bool {
-        assert!(index < self.len, "index {index} out of bounds ({})", self.len);
+        assert!(
+            index < self.len,
+            "index {index} out of bounds ({})",
+            self.len
+        );
         true
     }
     fn reset_all(&self) {}

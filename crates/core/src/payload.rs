@@ -301,8 +301,8 @@ mod tests {
                             cell.write_with(r(i), |w| *w = Wide::coherent(tag));
                         }
                         barrier.wait(); // closes round i
-                        // Post-barrier read: must be coherent and current.
-                        // SAFETY: round closed by the barrier above.
+                                        // Post-barrier read: must be coherent and current.
+                                        // SAFETY: round closed by the barrier above.
                         let seen = unsafe { *cell.read() };
                         assert!(seen.is_coherent(), "torn write observed: {seen:?}");
                         assert_eq!(seen.tag / 1000, u64::from(i));

@@ -79,7 +79,8 @@ impl SpinBarrier {
         if arrived == self.total {
             f();
             self.arrived.store(0, Ordering::Relaxed);
-            self.generation.store(gen.wrapping_add(1), Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
             true
         } else {
             let mut spins = 0u32;

@@ -21,6 +21,10 @@
 //! * [`SpinBarrier`] — a sense-reversing centralized barrier with an
 //!   active (pure spin, `OMP_WAIT_POLICY=active`) or passive
 //!   (spin-then-yield) [`WaitPolicy`].
+//! * [`FrontierBuffer`] / [`LocalBuffer`] — grow-local,
+//!   publish-with-one-`fetch_add` shared worklists for frontier-centric
+//!   kernels, consumed through the degree-weighted
+//!   [`WorkerCtx::for_each_frontier`] loop.
 //!
 //! ## Why lock-step structure matters here
 //!
@@ -52,10 +56,12 @@
 
 pub mod barrier;
 pub mod config;
+pub mod frontier;
 pub mod pool;
 pub mod schedule;
 
 pub use barrier::SpinBarrier;
 pub use config::{PoolConfig, WaitPolicy};
-pub use pool::{ChangedFlag, ThreadPool, WorkerCtx};
+pub use frontier::{FrontierBuffer, LocalBuffer};
+pub use pool::{ChangedFlag, ThreadPool, WorkerCtx, FRONTIER_GRAIN_EDGES};
 pub use schedule::Schedule;

@@ -30,7 +30,13 @@ use pram_core::Round;
 
 use crate::barrier::SpinBarrier;
 use crate::config::PoolConfig;
+use crate::frontier::FrontierBuffer;
 use crate::schedule::{guided_grab, static_block, static_chunks, Schedule};
+
+/// Default per-grab edge budget for [`WorkerCtx::for_each_frontier`]:
+/// enough edge work to amortize one shared-cursor `fetch_add`, small
+/// enough to rebalance skewed frontiers.
+pub const FRONTIER_GRAIN_EDGES: usize = 4096;
 
 /// The closure type executed by every team member during a region.
 type JobFn<'a> = dyn Fn(&WorkerCtx<'_>) + Sync + 'a;
@@ -325,7 +331,11 @@ impl WorkerCtx<'_> {
     /// (OpenMP `#pragma omp for`). Every team member must call this with
     /// the same range and schedule; each index is executed exactly once by
     /// exactly one member.
-    pub fn for_each(&self, range: Range<usize>, schedule: Schedule, f: impl Fn(usize)) {
+    ///
+    /// The closure is `FnMut`: each member constructs and runs its own
+    /// instance, so worker-local accumulators (e.g. a
+    /// [`crate::LocalBuffer`]) can be captured mutably.
+    pub fn for_each(&self, range: Range<usize>, schedule: Schedule, f: impl FnMut(usize)) {
         self.for_each_nowait(range, schedule, f);
         self.barrier();
     }
@@ -335,7 +345,12 @@ impl WorkerCtx<'_> {
     /// Dynamic and guided schedules still synchronize once at loop *entry*
     /// (the shared cursor must be reset by a full rendezvous); static
     /// schedules are entirely synchronization-free.
-    pub fn for_each_nowait(&self, range: Range<usize>, schedule: Schedule, f: impl Fn(usize)) {
+    pub fn for_each_nowait(
+        &self,
+        range: Range<usize>,
+        schedule: Schedule,
+        mut f: impl FnMut(usize),
+    ) {
         let base = range.start;
         let len = range.end.saturating_sub(range.start);
         match schedule {
@@ -375,7 +390,12 @@ impl WorkerCtx<'_> {
                     }
                     let take = guided_grab(len - cur, self.shared.threads, min_chunk);
                     if cursor
-                        .compare_exchange_weak(cur, cur + take, Ordering::Relaxed, Ordering::Relaxed)
+                        .compare_exchange_weak(
+                            cur,
+                            cur + take,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        )
                         .is_ok()
                     {
                         for i in cur..cur + take {
@@ -396,7 +416,7 @@ impl WorkerCtx<'_> {
         rows: usize,
         cols: usize,
         schedule: Schedule,
-        f: impl Fn(usize, usize),
+        mut f: impl FnMut(usize, usize),
     ) {
         let total = rows.checked_mul(cols).expect("2-D index space overflows");
         self.for_each(0..total, schedule, |flat| f(flat / cols, flat % cols));
@@ -436,7 +456,9 @@ impl WorkerCtx<'_> {
             *acc = Some(match acc.take() {
                 None => Box::new(value),
                 Some(prev) => {
-                    let prev = *prev.downcast::<T>().expect("mixed reduce types in one call");
+                    let prev = *prev
+                        .downcast::<T>()
+                        .expect("mixed reduce types in one call");
                     Box::new(combine(prev, value))
                 }
             });
@@ -452,6 +474,54 @@ impl WorkerCtx<'_> {
         // next reduce) until every member has cloned the result.
         self.barrier();
         result
+    }
+
+    /// Sum `weight` over the published entries of `frontier` — the
+    /// frontier's edge count, which drives both the chunking of
+    /// [`WorkerCtx::for_each_frontier`] and a direction-optimizing
+    /// push/pull heuristic.
+    ///
+    /// Every team member must call this at the same point (it reduces).
+    /// The scan partitions statically, so the cost is
+    /// `O(frontier.len() / threads)` plus one [`WorkerCtx::reduce`].
+    pub fn frontier_edge_count(
+        &self,
+        frontier: &FrontierBuffer,
+        mut weight: impl FnMut(u64) -> usize,
+    ) -> usize {
+        let len = frontier.len();
+        let mut local = 0usize;
+        for i in static_block(len, self.shared.threads, self.id) {
+            local += weight(frontier.get(i));
+        }
+        self.reduce(local, |a, b| a + b)
+    }
+
+    /// Worksharing loop over the published entries of `frontier` with
+    /// degree-weighted chunking and the implicit ending barrier.
+    ///
+    /// Chunks are sized so each shared-cursor grab covers roughly
+    /// `grain_edges` edges, given the frontier's total edge weight
+    /// `frontier_edges` (from [`WorkerCtx::frontier_edge_count`]): a
+    /// frontier of few heavy vertices is handed out nearly one vertex at a
+    /// time, a frontier of many light vertices in large blocks. Dynamic
+    /// assignment then rebalances whatever the average-degree estimate
+    /// gets wrong. Every team member must call this at the same point with
+    /// the same arguments.
+    pub fn for_each_frontier(
+        &self,
+        frontier: &FrontierBuffer,
+        frontier_edges: usize,
+        grain_edges: usize,
+        mut f: impl FnMut(u64),
+    ) {
+        let len = frontier.len();
+        let mean_degree = frontier_edges / len.max(1);
+        let chunk = (grain_edges.max(1) / mean_degree.max(1)).clamp(1, 2048);
+        // Keep at least a few grabs per member so dynamic assignment can
+        // actually balance.
+        let chunk = chunk.min(len / (4 * self.shared.threads) + 1);
+        self.for_each(0..len, Schedule::Dynamic { chunk }, |i| f(frontier.get(i)));
     }
 
     /// The lock-step convergence loop of the paper's BFS and CC kernels
@@ -788,6 +858,46 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_thread_pool_rejected() {
         let _ = ThreadPool::new(0);
+    }
+
+    #[test]
+    fn frontier_loop_covers_entries_exactly_once() {
+        use crate::frontier::{FrontierBuffer, LocalBuffer};
+        let pool = ThreadPool::new(4);
+        let n = 5000usize;
+        let fb = FrontierBuffer::with_capacity(n);
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|ctx| {
+            // Publish 0..n from per-worker buffers.
+            let mut local = LocalBuffer::with_threshold(64);
+            ctx.for_each_nowait(0..n, Schedule::default(), |i| {
+                local.push(i as u64, &fb);
+            });
+            local.flush(&fb);
+            ctx.barrier();
+
+            // Skewed weights: entry 0 carries almost all the edge weight.
+            let weight = |v: u64| if v == 0 { 100_000 } else { 1 };
+            let total = ctx.frontier_edge_count(&fb, weight);
+            assert_eq!(total, 100_000 + n - 1);
+            ctx.for_each_frontier(&fb, total, 4096, |v| {
+                hits[v as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "entry {i}");
+        }
+    }
+
+    #[test]
+    fn frontier_loop_empty_frontier_is_fine() {
+        use crate::frontier::FrontierBuffer;
+        let pool = ThreadPool::new(3);
+        let fb = FrontierBuffer::with_capacity(10);
+        pool.run(|ctx| {
+            assert_eq!(ctx.frontier_edge_count(&fb, |_| 1), 0);
+            ctx.for_each_frontier(&fb, 0, 4096, |_| unreachable!());
+        });
     }
 
     #[test]

@@ -120,7 +120,9 @@ mod tests {
     #[test]
     fn static_block_is_a_partition() {
         for &(len, threads) in &[(0, 1), (1, 4), (10, 3), (100, 7), (5, 8), (64, 64)] {
-            let pieces = (0..threads).map(|t| static_block(len, threads, t)).collect();
+            let pieces = (0..threads)
+                .map(|t| static_block(len, threads, t))
+                .collect();
             assert_partition(pieces, len);
         }
     }

@@ -54,14 +54,30 @@ fn main() -> ExitCode {
             None => Some(default),
         }
     };
-    let Some(n) = get("n", 1_000) else { return usage() };
-    let Some(m) = get("m", 5_000) else { return usage() };
-    let Some(seed) = get("seed", 42) else { return usage() };
-    let Some(scale) = get("scale", 10) else { return usage() };
-    let Some(rows) = get("rows", 10) else { return usage() };
-    let Some(cols) = get("cols", 10) else { return usage() };
-    let Some(k) = get("k", 10) else { return usage() };
-    let Some(size) = get("size", 10) else { return usage() };
+    let Some(n) = get("n", 1_000) else {
+        return usage();
+    };
+    let Some(m) = get("m", 5_000) else {
+        return usage();
+    };
+    let Some(seed) = get("seed", 42) else {
+        return usage();
+    };
+    let Some(scale) = get("scale", 10) else {
+        return usage();
+    };
+    let Some(rows) = get("rows", 10) else {
+        return usage();
+    };
+    let Some(cols) = get("cols", 10) else {
+        return usage();
+    };
+    let Some(k) = get("k", 10) else {
+        return usage();
+    };
+    let Some(size) = get("size", 10) else {
+        return usage();
+    };
 
     let mut gen = GraphGen::new(seed as u64);
     let (vertices, edges) = match kind.as_str() {

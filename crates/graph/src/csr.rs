@@ -92,9 +92,27 @@ impl CsrGraph {
     }
 
     /// The raw offsets array (`n + 1` entries) — the paper's `V`.
+    ///
+    /// This array *is* the out-degree prefix sum
+    /// (`offsets[v] = Σ_{u < v} degree(u)`), which is what makes
+    /// [`CsrGraph::edges_in_vertex_range`] — and with it degree-weighted
+    /// chunking and the push/pull direction heuristic — O(1) per query.
     #[inline]
     pub fn offsets(&self) -> &[usize] {
         &self.offsets
+    }
+
+    /// Total out-degree of the contiguous vertex range `lo..hi` in O(1),
+    /// read off the offsets prefix sum.
+    #[inline]
+    pub fn edges_in_vertex_range(&self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi && hi < self.offsets.len());
+        self.offsets[hi] - self.offsets[lo]
+    }
+
+    /// Total out-degree of an arbitrary vertex set (O(1) per vertex).
+    pub fn edges_from(&self, vertices: impl IntoIterator<Item = u32>) -> usize {
+        vertices.into_iter().map(|v| self.degree(v)).sum()
     }
 
     /// The raw targets array — the paper's `E`.
@@ -105,11 +123,8 @@ impl CsrGraph {
 
     /// Iterate all stored directed edges as `(src, dst)`.
     pub fn directed_edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        (0..self.num_vertices()).flat_map(move |u| {
-            self.neighbors(u as u32)
-                .iter()
-                .map(move |&v| (u as u32, v))
-        })
+        (0..self.num_vertices())
+            .flat_map(move |u| self.neighbors(u as u32).iter().map(move |&v| (u as u32, v)))
     }
 
     /// Sort each adjacency list and drop duplicate neighbors (keeps one
@@ -132,6 +147,48 @@ impl CsrGraph {
         }
     }
 
+    /// Build the in-edge view: for every vertex `v`, the sources `u` of
+    /// edges `u → v` together with each edge's index in this graph's
+    /// target array. O(n + m) counting sort.
+    ///
+    /// This is what a bottom-up ("pull") BFS sweep needs: scanning `v`'s
+    /// in-edges while keeping the discovered tree edge expressed as an
+    /// index *owned by the parent*, so the `sel_edge` invariant is the
+    /// same in both directions. For an undirected [`CsrGraph`] (both
+    /// directions stored) the in- and out-neighbor multisets coincide, but
+    /// the edge ids do not — the reverse view records the id of the
+    /// `u → v` copy.
+    pub fn reverse(&self) -> ReverseCsr {
+        let n = self.num_vertices();
+        let mut in_degree = vec![0usize; n];
+        for &t in self.targets.iter() {
+            in_degree[t as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &in_degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut sources = vec![0u32; self.targets.len()];
+        let mut edge_ids = vec![0usize; self.targets.len()];
+        for u in 0..n {
+            for e in self.offsets[u]..self.offsets[u + 1] {
+                let v = self.targets[e] as usize;
+                sources[cursor[v]] = u as u32;
+                edge_ids[cursor[v]] = e;
+                cursor[v] += 1;
+            }
+        }
+        ReverseCsr {
+            offsets: offsets.into_boxed_slice(),
+            sources: sources.into_boxed_slice(),
+            edge_ids: edge_ids.into_boxed_slice(),
+        }
+    }
+
     /// Mean degree.
     pub fn mean_degree(&self) -> f64 {
         if self.num_vertices() == 0 {
@@ -147,6 +204,51 @@ impl CsrGraph {
             .map(|v| self.degree(v as u32))
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// The in-edge view of a [`CsrGraph`], with edge provenance.
+///
+/// `offsets[v]..offsets[v + 1]` indexes parallel arrays `sources` (the
+/// origin of each in-edge) and `edge_ids` (that edge's index in the
+/// original graph's target array). Built by [`CsrGraph::reverse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReverseCsr {
+    offsets: Box<[usize]>,
+    sources: Box<[u32]>,
+    edge_ids: Box<[usize]>,
+}
+
+impl ReverseCsr {
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The raw in-offsets array (`n + 1` entries) — the in-degree prefix
+    /// sum, the pull-side counterpart of [`CsrGraph::offsets`].
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: u32) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The in-edges of `v` as `(source, original_edge_id)` pairs.
+    #[inline]
+    pub fn in_edges(&self, v: u32) -> impl Iterator<Item = (u32, usize)> + '_ {
+        let v = v as usize;
+        let range = self.offsets[v]..self.offsets[v + 1];
+        self.sources[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.edge_ids[range].iter().copied())
     }
 }
 
@@ -226,5 +328,55 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_endpoint() {
         let _ = CsrGraph::from_edges(2, &[(0, 5)], true);
+    }
+
+    #[test]
+    fn edges_in_vertex_range_matches_degree_sums() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (3, 4)], true);
+        for lo in 0..=5 {
+            for hi in lo..=5 {
+                let expect: usize = (lo..hi).map(|v| g.degree(v as u32)).sum();
+                assert_eq!(g.edges_in_vertex_range(lo, hi), expect, "{lo}..{hi}");
+            }
+        }
+        assert_eq!(
+            g.edges_from([0u32, 3].into_iter()),
+            g.degree(0) + g.degree(3)
+        );
+    }
+
+    #[test]
+    fn reverse_records_in_edges_with_provenance() {
+        // Directed, so in- and out-views genuinely differ.
+        let g = CsrGraph::from_edges(4, &[(0, 2), (1, 2), (2, 3), (3, 2)], false);
+        let r = g.reverse();
+        assert_eq!(r.num_vertices(), 4);
+        assert_eq!(r.in_degree(2), 3);
+        assert_eq!(r.in_degree(0), 0);
+        for v in 0..4u32 {
+            for (u, e) in r.in_edges(v) {
+                // Provenance: edge e really is u → v in the original CSR.
+                assert!((g.offsets()[u as usize]..g.offsets()[u as usize + 1]).contains(&e));
+                assert_eq!(g.targets()[e], v);
+            }
+        }
+        // Every directed edge appears in exactly one in-list.
+        let total: usize = (0..4u32).map(|v| r.in_edges(v).count()).sum();
+        assert_eq!(total, g.num_directed_edges());
+        // In-offsets are the in-degree prefix sum.
+        assert_eq!(r.offsets()[4], g.num_directed_edges());
+    }
+
+    #[test]
+    fn reverse_of_undirected_preserves_neighbor_multisets() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 1), (1, 2), (2, 0)], true);
+        let r = g.reverse();
+        for v in 0..4u32 {
+            let mut out: Vec<u32> = g.neighbors(v).to_vec();
+            let mut inc: Vec<u32> = r.in_edges(v).map(|(u, _)| u).collect();
+            out.sort_unstable();
+            inc.sort_unstable();
+            assert_eq!(out, inc, "vertex {v}");
+        }
     }
 }

@@ -202,7 +202,9 @@ mod tests {
     fn gnm_has_requested_count_and_no_loops() {
         let edges = GraphGen::new(1).gnm(100, 1000);
         assert_eq!(edges.len(), 1000);
-        assert!(edges.iter().all(|&(u, v)| u != v && (u as usize) < 100 && (v as usize) < 100));
+        assert!(edges
+            .iter()
+            .all(|&(u, v)| u != v && (u as usize) < 100 && (v as usize) < 100));
     }
 
     #[test]

@@ -34,6 +34,6 @@ pub mod gen;
 pub mod io;
 pub mod serial;
 
-pub use csr::CsrGraph;
+pub use csr::{CsrGraph, ReverseCsr};
 pub use gen::GraphGen;
 pub use serial::DisjointSet;

@@ -65,10 +65,9 @@ impl fmt::Display for PramError {
                 "Common-CRCW violation at cell {addr}: values {} and {} differ",
                 values.0, values.1
             ),
-            PramError::DuplicateWrite { addr, pid } => write!(
-                f,
-                "processor {pid} wrote cell {addr} twice within one step"
-            ),
+            PramError::DuplicateWrite { addr, pid } => {
+                write!(f, "processor {pid} wrote cell {addr} twice within one step")
+            }
             PramError::OutOfBounds { addr, len } => {
                 write!(f, "address {addr} out of bounds (memory size {len})")
             }

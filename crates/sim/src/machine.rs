@@ -336,9 +336,7 @@ mod tests {
         })
         .unwrap();
         // Concurrent writes are not.
-        let err = m
-            .step(3, |_pid, _| vec![Write::new(1, 7)])
-            .unwrap_err();
+        let err = m.step(3, |_pid, _| vec![Write::new(1, 7)]).unwrap_err();
         assert!(matches!(err, PramError::WriteConflict { addr: 1, .. }));
     }
 
@@ -426,11 +424,13 @@ mod tests {
     #[test]
     fn priority_rules() {
         let mut m = Machine::zeroed(crcw(WriteRule::PriorityMinPid), 1);
-        m.step(4, |pid, _| vec![Write::new(0, 10 - pid as i64)]).unwrap();
+        m.step(4, |pid, _| vec![Write::new(0, 10 - pid as i64)])
+            .unwrap();
         assert_eq!(m.mem()[0], 10); // pid 0 wins
 
         let mut m = Machine::zeroed(crcw(WriteRule::PriorityMinValue), 1);
-        m.step(4, |pid, _| vec![Write::new(0, 10 - pid as i64)]).unwrap();
+        m.step(4, |pid, _| vec![Write::new(0, 10 - pid as i64)])
+            .unwrap();
         assert_eq!(m.mem()[0], 7); // smallest value wins
     }
 

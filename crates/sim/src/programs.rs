@@ -296,11 +296,8 @@ mod tests {
     fn max_works_under_arbitrary_rule_too() {
         // Common writes are simulable by any stronger rule in O(1) (§2).
         let values = vec![4, 9, 1, 9, 3];
-        let run = constant_time_max(
-            &values,
-            WriteRule::Arbitrary(ArbitraryPolicy::Seeded(3)),
-        )
-        .unwrap();
+        let run =
+            constant_time_max(&values, WriteRule::Arbitrary(ArbitraryPolicy::Seeded(3))).unwrap();
         assert_eq!(run.output, 3);
     }
 
@@ -403,10 +400,7 @@ mod tests {
     }
 
     fn undirected(pairs: &[(usize, usize)]) -> Vec<(usize, usize)> {
-        pairs
-            .iter()
-            .flat_map(|&(u, v)| [(u, v), (v, u)])
-            .collect()
+        pairs.iter().flat_map(|&(u, v)| [(u, v), (v, u)]).collect()
     }
 
     #[test]

@@ -61,5 +61,5 @@ pub mod program;
 pub mod stdlib;
 pub mod threaded;
 
-pub use program::{Program, ProgramOutput, ReadMem, StepFn, VmError, VmRule};
 pub use pram_sim::Write;
+pub use program::{Program, ProgramOutput, ReadMem, StepFn, VmError, VmRule};

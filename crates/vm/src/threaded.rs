@@ -112,7 +112,9 @@ impl Program {
             mem: initial.into_iter().map(AtomicI64::new).collect(),
             claims: CasLtArray::new(self.mem_len),
             priority: (rule == VmRule::PriorityMinPid).then(|| PriorityArray::new(self.mem_len)),
-            buffers: (0..pool.num_threads()).map(|_| Mutex::new(Vec::new())).collect(),
+            buffers: (0..pool.num_threads())
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
             oob: AtomicUsize::new(usize::MAX),
             err_flag: AtomicBool::new(false),
             err: Mutex::new(None),
@@ -168,7 +170,11 @@ impl Program {
             return Err(e);
         }
         Ok(ProgramOutput {
-            mem: shared.mem.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+            mem: shared
+                .mem
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
             trace: Trace {
                 depth: shared.depth.into_inner(),
                 work: shared.work.into_inner(),
@@ -205,10 +211,13 @@ fn exec_step(
         // cell per step).
         for (i, w) in writes.iter().enumerate() {
             if w.addr >= shared.mem.len() {
-                shared.record_err(PramError::OutOfBounds {
-                    addr: w.addr,
-                    len: shared.mem.len(),
-                }.into());
+                shared.record_err(
+                    PramError::OutOfBounds {
+                        addr: w.addr,
+                        len: shared.mem.len(),
+                    }
+                    .into(),
+                );
                 return;
             }
             if writes[..i].iter().any(|p| p.addr == w.addr) {
@@ -387,7 +396,9 @@ mod tests {
                 vec![]
             }
         });
-        let ideal = p.run_on_machine(VmRule::PriorityMinPid, vec![0, 0]).unwrap();
+        let ideal = p
+            .run_on_machine(VmRule::PriorityMinPid, vec![0, 0])
+            .unwrap();
         let real = p
             .run_threaded(VmRule::PriorityMinPid, vec![0, 0], &pool())
             .unwrap();
@@ -399,7 +410,9 @@ mod tests {
     fn common_violation_detected_threaded() {
         let mut p = Program::new(1);
         p.step(8, |pid, _| vec![Write::new(0, pid as i64 % 2)]);
-        let err = p.run_threaded(VmRule::Common, vec![0], &pool()).unwrap_err();
+        let err = p
+            .run_threaded(VmRule::Common, vec![0], &pool())
+            .unwrap_err();
         assert!(matches!(
             err,
             VmError::Model(PramError::CommonViolation { .. })
@@ -410,12 +423,16 @@ mod tests {
     fn oob_and_duplicates_detected_threaded() {
         let mut p = Program::new(2);
         p.step(1, |_, _| vec![Write::new(9, 1)]);
-        let err = p.run_threaded(VmRule::Common, vec![0, 0], &pool()).unwrap_err();
+        let err = p
+            .run_threaded(VmRule::Common, vec![0, 0], &pool())
+            .unwrap_err();
         assert!(matches!(err, VmError::Model(PramError::OutOfBounds { .. })));
 
         let mut p = Program::new(2);
         p.step(1, |_, _| vec![Write::new(0, 1), Write::new(0, 1)]);
-        let err = p.run_threaded(VmRule::Common, vec![0, 0], &pool()).unwrap_err();
+        let err = p
+            .run_threaded(VmRule::Common, vec![0, 0], &pool())
+            .unwrap_err();
         assert!(matches!(
             err,
             VmError::Model(PramError::DuplicateWrite { .. })
@@ -444,7 +461,9 @@ mod tests {
         p.repeat(0, 5, |b| {
             b.step(1, |_, _| vec![Write::new(0, 1)]);
         });
-        let err = p.run_threaded(VmRule::Common, vec![1], &pool()).unwrap_err();
+        let err = p
+            .run_threaded(VmRule::Common, vec![1], &pool())
+            .unwrap_err();
         assert_eq!(
             err,
             VmError::RepeatDiverged {
@@ -459,7 +478,9 @@ mod tests {
         let mut p = Program::new(3);
         p.step(3, |pid, _| vec![Write::new(pid, pid as i64 + 1)]);
         let pool = ThreadPool::new(1);
-        let out = p.run_threaded(VmRule::Arbitrary, vec![0; 3], &pool).unwrap();
+        let out = p
+            .run_threaded(VmRule::Arbitrary, vec![0; 3], &pool)
+            .unwrap();
         assert_eq!(out.mem, vec![1, 2, 3]);
     }
 }

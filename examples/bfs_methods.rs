@@ -33,7 +33,10 @@ fn main() {
     let pool = ThreadPool::new(threads);
     let source = 0u32;
 
-    println!("\n{:<16} {:>12} {:>8} {:>10} {:>12}", "method", "time", "levels", "distances", "tree check");
+    println!(
+        "\n{:<16} {:>12} {:>8} {:>10} {:>12}",
+        "method", "time", "levels", "distances", "tree check"
+    );
     for method in CwMethod::ALL {
         let t0 = Instant::now();
         let r = bfs(&g, source, method, &pool);

@@ -17,8 +17,15 @@ use pram_algos::cc::{connected_components, verify_cc, NO_HOOK};
 use pram_algos::sv::{sv_components, verify_sv};
 
 fn run_cc(name: &str, g: &CsrGraph, pool: &ThreadPool) {
-    println!("\n--- {name}: {} vertices, {} directed edges ---", g.num_vertices(), g.num_directed_edges());
-    println!("{:<16} {:>12} {:>6} {:>12} {:>8}", "method", "time", "iters", "components", "verify");
+    println!(
+        "\n--- {name}: {} vertices, {} directed edges ---",
+        g.num_vertices(),
+        g.num_directed_edges()
+    );
+    println!(
+        "{:<16} {:>12} {:>6} {:>12} {:>8}",
+        "method", "time", "iters", "components", "verify"
+    );
     for method in [
         CwMethod::Gatekeeper,
         CwMethod::GatekeeperSkip,
@@ -42,7 +49,10 @@ fn run_cc(name: &str, g: &CsrGraph, pool: &ThreadPool) {
         );
         if method == CwMethod::CasLt {
             let hooked = r.hook_edge.iter().filter(|&&e| e != NO_HOOK).count();
-            println!("{:<16} {hooked} roots were hooked; every hook edge verified in-component", "");
+            println!(
+                "{:<16} {hooked} roots were hooked; every hook edge verified in-component",
+                ""
+            );
         }
     }
 
@@ -54,8 +64,15 @@ fn run_cc(name: &str, g: &CsrGraph, pool: &ThreadPool) {
         "sv-caslt (ext.)",
         dt,
         r.iterations,
-        r.labels.iter().collect::<std::collections::HashSet<_>>().len(),
-        if verify_sv(g, &r).is_ok() { "ok" } else { "FAILED" }
+        r.labels
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+        if verify_sv(g, &r).is_ok() {
+            "ok"
+        } else {
+            "FAILED"
+        }
     );
 }
 

@@ -76,9 +76,7 @@ fn main() {
 
     // Inspect the committed book (exclusive access — safe API).
     let mut book = book;
-    let committed: Vec<Offer> = (0..items)
-        .filter_map(|i| *book.get_mut(i))
-        .collect();
+    let committed: Vec<Offer> = (0..items).filter_map(|i| *book.get_mut(i)).collect();
 
     let torn = committed.iter().filter(|o| !o.is_intact()).count();
     println!("items with a committed offer : {}", committed.len());

@@ -30,7 +30,10 @@ fn main() {
     let pool = ThreadPool::new(threads);
 
     println!("== 1. Maximum: CRCW O(1)-depth vs EREW O(log n)-depth ==");
-    println!("{:>10} {:>16} {:>18} {:>10}", "n", "crcw-caslt (ms)", "erew-tourn. (ms)", "winner");
+    println!(
+        "{:>10} {:>16} {:>18} {:>10}",
+        "n", "crcw-caslt (ms)", "erew-tourn. (ms)", "winner"
+    );
     for n in [64usize, 256, 1_024, 4_096, 16_384] {
         let values: Vec<u64> = (0..n as u64)
             .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % 1_000_003)
@@ -72,7 +75,10 @@ fn main() {
 
     println!("== 3. Maximal matching (two-cell arbitrary concurrent write) ==");
     let g = CsrGraph::from_edges(20_000, &GraphGen::new(3).gnm(20_000, 80_000), true);
-    println!("{:>14} {:>12} {:>8} {:>8} {:>8}", "method", "time", "rounds", "pairs", "verify");
+    println!(
+        "{:>14} {:>12} {:>8} {:>8} {:>8}",
+        "method", "time", "rounds", "pairs", "verify"
+    );
     for m in [CwMethod::Gatekeeper, CwMethod::Lock, CwMethod::CasLt] {
         let t0 = Instant::now();
         let r = maximal_matching(&g, m, &pool);

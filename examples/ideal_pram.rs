@@ -18,10 +18,16 @@ fn main() {
     println!("== 1. Five processors write cell 0 concurrently ==");
     let rules: Vec<(&str, WriteRule)> = vec![
         ("Common (all write 7)", WriteRule::Common),
-        ("Arbitrary (seeded)", WriteRule::Arbitrary(ArbitraryPolicy::Seeded(1))),
+        (
+            "Arbitrary (seeded)",
+            WriteRule::Arbitrary(ArbitraryPolicy::Seeded(1)),
+        ),
         ("Priority min-pid", WriteRule::PriorityMinPid),
         ("Priority min-value", WriteRule::PriorityMinValue),
-        ("Collision (sentinel -9)", WriteRule::Collision { sentinel: -9 }),
+        (
+            "Collision (sentinel -9)",
+            WriteRule::Collision { sentinel: -9 },
+        ),
     ];
     for (name, rule) in rules {
         let mut m = Machine::zeroed(AccessMode::Crcw(rule), 1);

@@ -90,7 +90,9 @@ fn main() {
 
     // Same program, declared arbitrary: now it's legal, and the committed
     // value is exactly one processor's write.
-    let out = buggy.run_threaded(VmRule::Arbitrary, vec![0], &pool).unwrap();
+    let out = buggy
+        .run_threaded(VmRule::Arbitrary, vec![0], &pool)
+        .unwrap();
     println!(
         "declared Arbitrary, it is fine: cell 0 = {} (one of the issued values; \
          {} issued, {} committed)",
@@ -108,7 +110,9 @@ fn main() {
         });
     });
     let a = doubling.run_on_machine(VmRule::Common, vec![1, 1]).unwrap();
-    let b = doubling.run_threaded(VmRule::Common, vec![1, 1], &pool).unwrap();
+    let b = doubling
+        .run_threaded(VmRule::Common, vec![1, 1], &pool)
+        .unwrap();
     assert_eq!(a.mem, b.mem);
     println!(
         "both backends converge to x = {} in {} lock-step rounds",

@@ -33,14 +33,20 @@ fn main() {
             });
         }
     });
-    println!("   winners: {} (always exactly 1)", winners.load(Ordering::Relaxed));
+    println!(
+        "   winners: {} (always exactly 1)",
+        winners.load(Ordering::Relaxed)
+    );
 
     // ------------------------------------------------------------------
     // 2. Rounds re-arm every cell at zero cost — no reset pass.
     // ------------------------------------------------------------------
     println!("\n== 2. A new round re-arms the cell for free ==");
     let r2 = rounds.next_round().unwrap();
-    println!("   claim(round {round}) again -> {}", cells.try_claim(0, round));
+    println!(
+        "   claim(round {round}) again -> {}",
+        cells.try_claim(0, round)
+    );
     println!("   claim(round {r2})       -> {}", cells.try_claim(0, r2));
 
     // ------------------------------------------------------------------
@@ -48,7 +54,9 @@ fn main() {
     // ------------------------------------------------------------------
     println!("\n== 3. Constant-time maximum under every CW method ==");
     let n = 2_000;
-    let values: Vec<u64> = (0..n as u64).map(|i| (i * 2_654_435_761) % 1_000_003).collect();
+    let values: Vec<u64> = (0..n as u64)
+        .map(|i| (i * 2_654_435_761) % 1_000_003)
+        .collect();
     let pool = ThreadPool::new(4);
 
     for method in CwMethod::ALL {

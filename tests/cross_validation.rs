@@ -73,7 +73,8 @@ fn bfs_agrees_across_all_three_implementations() {
         for m in CwMethod::ALL {
             let r = bfs(&g, 0, m, &pool);
             assert_eq!(
-                r.level, reference,
+                r.level,
+                reference,
                 "threaded {m} on {} threads",
                 pool.num_threads()
             );
@@ -90,7 +91,9 @@ fn or_agrees_with_ideal_machine() {
     ];
     let pool = ThreadPool::new(4);
     for bits in &patterns {
-        let ideal = programs::logical_or(bits, WriteRule::Common).unwrap().output;
+        let ideal = programs::logical_or(bits, WriteRule::Common)
+            .unwrap()
+            .output;
         for m in CwMethod::ALL {
             assert_eq!(logical_or(bits, m, &pool), ideal, "{m} on {bits:?}");
         }
@@ -129,7 +132,8 @@ fn cc_labels_match_union_find_across_pools_and_methods() {
             for m in [CwMethod::CasLt, CwMethod::Gatekeeper, CwMethod::Lock] {
                 let r = connected_components(&g, m, &pool);
                 assert_eq!(
-                    r.labels, reference,
+                    r.labels,
+                    reference,
                     "{m} on {} threads, seed {seed}",
                     pool.num_threads()
                 );

@@ -1,0 +1,109 @@
+//! Stress: frontier-centric BFS never commits a mixed `parent`/`sel_edge`
+//! pair.
+//!
+//! The companion of `torn_writes.rs`, at kernel scale: the four-word
+//! discovery write (`parent[u]`, `sel_edge[u]`, `visited[u]`, `level[u]`)
+//! is exactly the multi-word structure the paper's §4 warns can commit as
+//! "a structure that does not match any of the ones being written". The
+//! sparse top-down expansion maximizes the hazard window — many expanders
+//! race for the same high-degree targets — and the bottom-up pull moves the
+//! write to a different loop shape entirely. Under every single-winner
+//! method, `verify_bfs_tree` must still find each `sel_edge[u]` inside
+//! parent `parent[u]`'s CSR range and targeting `u`: a mixture from two
+//! writers would name an edge the parent does not own.
+
+use pram_algos::bfs::{bfs_with_strategy, verify_bfs_levels, verify_bfs_tree, BfsStrategy};
+use pram_algos::CwMethod;
+use pram_exec::ThreadPool;
+use pram_graph::{CsrGraph, GraphGen};
+
+/// Repetitions per configuration; raise via STRESS_REPS for soak runs.
+fn reps() -> usize {
+    std::env::var("STRESS_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6)
+}
+
+fn single_winner_methods() -> impl Iterator<Item = CwMethod> {
+    CwMethod::ALL.into_iter().filter(|m| m.single_winner())
+}
+
+/// Skewed R-MAT: hub vertices give thousands of concurrent claimants per
+/// target in the top-down phase and dense pull rounds in the DO phase.
+#[test]
+fn rmat_discovery_writes_are_never_torn() {
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get().min(8));
+    let pool = ThreadPool::new(threads);
+    let n = 1usize << 11;
+    for rep in 0..reps() {
+        let edges = GraphGen::new(0xF0 + rep as u64).rmat_standard(11, n * 8);
+        let g = CsrGraph::from_edges(n, &edges, true);
+        for method in single_winner_methods() {
+            for strategy in [BfsStrategy::TopDown, BfsStrategy::DirectionOptimizing] {
+                let r = bfs_with_strategy(&g, 0, method, strategy, &pool);
+                verify_bfs_tree(&g, 0, &r)
+                    .unwrap_or_else(|e| panic!("rep {rep} {method}/{strategy}: {e}"));
+            }
+        }
+    }
+}
+
+/// A star is the worst case for claim contention: every leaf is claimed in
+/// the same round, and with duplicate spokes each leaf has several distinct
+/// candidate (parent, sel_edge) pairs in flight at once.
+#[test]
+fn star_multigraph_claims_stay_consistent() {
+    let pool = ThreadPool::new(8);
+    let n = 4096;
+    let mut edges = GraphGen::star(n);
+    edges.extend(GraphGen::star(n)); // duplicate every spoke
+    let g = CsrGraph::from_edges(n, &edges, true);
+    for rep in 0..reps() {
+        for method in single_winner_methods() {
+            for strategy in BfsStrategy::ALL {
+                let r = bfs_with_strategy(&g, 0, method, strategy, &pool);
+                verify_bfs_tree(&g, 0, &r)
+                    .unwrap_or_else(|e| panic!("rep {rep} {method}/{strategy}: {e}"));
+            }
+        }
+    }
+}
+
+/// Dense G(n, m) multigraphs: duplicate edges mean racing writers propose
+/// *different* sel_edge values for the same (parent, child) pair, so a torn
+/// commit is observable even when both writers agree on the parent.
+#[test]
+fn gnm_multigraph_discovery_is_single_winner() {
+    let pool = ThreadPool::new(8);
+    for rep in 0..reps() {
+        let n = 1500;
+        let edges = GraphGen::new(0xAB + rep as u64).gnm(n, n * 12);
+        let g = CsrGraph::from_edges(n, &edges, true);
+        for method in single_winner_methods() {
+            for strategy in [BfsStrategy::TopDown, BfsStrategy::DirectionOptimizing] {
+                let r = bfs_with_strategy(&g, 7, method, strategy, &pool);
+                verify_bfs_tree(&g, 7, &r)
+                    .unwrap_or_else(|e| panic!("rep {rep} {method}/{strategy}: {e}"));
+            }
+        }
+    }
+}
+
+/// Naive writes stay correct on the *common*-write component (levels) even
+/// under frontier strategies — the paper's reason Rodinia "works" — while
+/// the tree checks are only promised by single-winner methods.
+#[test]
+fn naive_levels_survive_frontier_strategies() {
+    let pool = ThreadPool::new(8);
+    for rep in 0..reps() {
+        let n = 1usize << 10;
+        let edges = GraphGen::new(0x51 + rep as u64).rmat_standard(10, n * 6);
+        let g = CsrGraph::from_edges(n, &edges, true);
+        for strategy in BfsStrategy::ALL {
+            let r = bfs_with_strategy(&g, 0, CwMethod::Naive, strategy, &pool);
+            verify_bfs_levels(&g, 0, &r)
+                .unwrap_or_else(|e| panic!("rep {rep} naive/{strategy}: {e}"));
+        }
+    }
+}

@@ -5,11 +5,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
 
-use proptest::prelude::*;
 use pram_core::{
-    CasLtArray, CasLtCell64, GatekeeperArray, GatekeeperSkipArray, LockArray, PriorityArray,
-    Round, SliceArbiter,
+    CasLtArray, CasLtCell64, GatekeeperArray, GatekeeperSkipArray, LockArray, PriorityArray, Round,
+    SliceArbiter,
 };
+use proptest::prelude::*;
 
 /// Hammer `arb` with `threads` threads over `rounds` barrier-separated
 /// rounds of claims on every cell; return total wins (must equal

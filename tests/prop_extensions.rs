@@ -2,13 +2,13 @@
 //! ranking, and maximal matching, plus the agreement between the CRCW and
 //! EREW maximum implementations.
 
-use proptest::prelude::*;
 use pram_algos::list_rank::{list_rank, list_rank_serial, random_list};
 use pram_algos::matching::{maximal_matching, verify_matching};
 use pram_algos::reduce::{max_index_tournament, sum_tournament};
 use pram_algos::{max_index, CwMethod};
 use pram_exec::ThreadPool;
 use pram_graph::{serial, CsrGraph, GraphGen};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]

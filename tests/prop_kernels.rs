@@ -2,13 +2,13 @@
 //! concurrent-write method, varying team sizes — always checked against
 //! the serial ground truth.
 
-use proptest::prelude::*;
-use pram_algos::bfs::{bfs, verify_bfs_tree};
-use pram_algos::cc::{connected_components, verify_cc};
+use pram_algos::bfs::{bfs, bfs_with_strategy, verify_bfs_tree, BfsStrategy};
+use pram_algos::cc::{connected_components, connected_components_worklist, verify_cc};
 use pram_algos::sv::{sv_components, verify_sv};
 use pram_algos::{first_true, logical_or, max_index, CwMethod};
 use pram_exec::ThreadPool;
 use pram_graph::{serial, CsrGraph, GraphGen};
+use proptest::prelude::*;
 
 fn arb_method() -> impl Strategy<Value = CwMethod> {
     prop::sample::select(CwMethod::ALL.to_vec())
@@ -102,6 +102,70 @@ proptest! {
         let g = CsrGraph::from_edges(n, &rmat, true);
         let r = connected_components(&g, CwMethod::CasLt, &pool);
         prop_assert!(verify_cc(&g, &r).is_ok());
+    }
+
+    // Frontier strategies are observationally equivalent to the paper's
+    // dense scan: identical `level` vectors, and a valid (not necessarily
+    // identical — tie-breaks differ) parent/sel_edge tree, under every
+    // single-winner method.
+    #[test]
+    fn bfs_strategies_agree_with_dense_reference(
+        seed in any::<u64>(),
+        n in 2usize..80,
+        density in 1usize..6,
+        method in single_winner_method(),
+        threads in 1usize..5,
+    ) {
+        let edges = GraphGen::new(seed).gnm(n, n * density);
+        let g = CsrGraph::from_edges(n, &edges, true);
+        let pool = ThreadPool::new(threads);
+        let source = (seed % n as u64) as u32;
+        let dense = bfs_with_strategy(&g, source, method, BfsStrategy::DenseScan, &pool);
+        for strategy in [BfsStrategy::TopDown, BfsStrategy::DirectionOptimizing] {
+            let r = bfs_with_strategy(&g, source, method, strategy, &pool);
+            prop_assert_eq!(&r.level, &dense.level,
+                "{} diverges from dense levels under {}", strategy, method);
+            prop_assert_eq!(r.rounds, dense.rounds);
+            let tree = verify_bfs_tree(&g, source, &r);
+            prop_assert!(tree.is_ok(), "{}/{}: {}", method, strategy, tree.unwrap_err());
+        }
+    }
+
+    #[test]
+    fn bfs_strategies_agree_on_skewed_rmat(
+        seed in any::<u64>(),
+        scale in 3u32..8,
+        method in single_winner_method(),
+    ) {
+        let n = 1usize << scale;
+        let edges = GraphGen::new(seed).rmat_standard(scale, n * 6);
+        let g = CsrGraph::from_edges(n, &edges, true);
+        let pool = ThreadPool::new(4);
+        let dense = bfs_with_strategy(&g, 0, method, BfsStrategy::DenseScan, &pool);
+        for strategy in [BfsStrategy::TopDown, BfsStrategy::DirectionOptimizing] {
+            let r = bfs_with_strategy(&g, 0, method, strategy, &pool);
+            prop_assert_eq!(&r.level, &dense.level,
+                "{} diverges from dense levels under {}", strategy, method);
+            let tree = verify_bfs_tree(&g, 0, &r);
+            prop_assert!(tree.is_ok(), "{}/{}: {}", method, strategy, tree.unwrap_err());
+        }
+    }
+
+    #[test]
+    fn cc_worklist_agrees_with_dense_reference(
+        seed in any::<u64>(),
+        n in 2usize..80,
+        density in 0usize..5,
+        method in single_winner_method(),
+        threads in 1usize..5,
+    ) {
+        let edges = GraphGen::new(seed).gnm(n, n * density);
+        let g = CsrGraph::from_edges(n, &edges, true);
+        let pool = ThreadPool::new(threads);
+        let dense = connected_components(&g, method, &pool);
+        let sparse = connected_components_worklist(&g, method, &pool);
+        prop_assert_eq!(&sparse.labels, &dense.labels, "worklist labels diverge under {}", method);
+        prop_assert!(verify_cc(&g, &sparse).is_ok(), "{}", verify_cc(&g, &sparse).unwrap_err());
     }
 
     #[test]

@@ -5,8 +5,8 @@
 
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
-use proptest::prelude::*;
 use pram_exec::{PoolConfig, Schedule, ThreadPool, WaitPolicy};
+use proptest::prelude::*;
 
 fn arb_schedule() -> impl Strategy<Value = Schedule> {
     prop_oneof![

@@ -4,10 +4,10 @@
 
 use std::sync::Barrier;
 
-use proptest::prelude::*;
 use pram_algos::scan::{exclusive_scan, exclusive_scan_serial, inclusive_scan};
 use pram_core::{ConVec, Round};
 use pram_exec::ThreadPool;
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

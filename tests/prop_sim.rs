@@ -1,16 +1,13 @@
 //! Property tests for the ideal PRAM machine: resolution-rule invariants
 //! over randomized write sets, failure atomicity, and trace accounting.
 
-use proptest::prelude::*;
 use pram_sim::{AccessMode, ArbitraryPolicy, Machine, PramError, Write, WriteRule};
+use proptest::prelude::*;
 
 /// A randomized one-step workload: per processor, an optional write
 /// (addr, value) into a small memory.
 fn arb_writes(mem: usize, procs: usize) -> impl Strategy<Value = Vec<Option<(usize, i64)>>> {
-    proptest::collection::vec(
-        proptest::option::of((0..mem, -50i64..50)),
-        procs..=procs,
-    )
+    proptest::collection::vec(proptest::option::of((0..mem, -50i64..50)), procs..=procs)
 }
 
 fn run_step(
@@ -40,6 +37,7 @@ proptest! {
         let mode = AccessMode::Crcw(WriteRule::Arbitrary(ArbitraryPolicy::Seeded(seed)));
         let (r, before, m) = run_step(mode, 6, &writes);
         prop_assert!(r.is_ok());
+        #[allow(clippy::needless_range_loop)] // addr indexes three arrays
         for addr in 0..6 {
             let now = m.mem()[addr];
             if now != before[addr] {

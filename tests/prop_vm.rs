@@ -2,9 +2,9 @@
 //! run on both backends must agree (exactly for deterministic rules;
 //! admissibly for arbitrary).
 
-use proptest::prelude::*;
 use pram_exec::ThreadPool;
 use pram_vm::{Program, VmRule, Write};
+use proptest::prelude::*;
 
 /// A random program description: per step, per processor, an optional
 /// (addr, value) write. Values are derived from (step, pid) so common-rule
@@ -16,17 +16,10 @@ struct RandomProgram {
     steps: Vec<Vec<Option<usize>>>,
 }
 
-fn arb_program(common_safe: bool) -> impl Strategy<Value = RandomProgram> {
+fn arb_program() -> impl Strategy<Value = RandomProgram> {
     (2usize..8).prop_flat_map(move |mem| {
         let step = proptest::collection::vec(proptest::option::of(0..mem), 1..10);
-        proptest::collection::vec(step, 1..6).prop_map(move |steps| RandomProgram {
-            mem,
-            steps: if common_safe {
-                steps
-            } else {
-                steps
-            },
-        })
+        proptest::collection::vec(step, 1..6).prop_map(move |steps| RandomProgram { mem, steps })
     })
 }
 
@@ -57,7 +50,7 @@ proptest! {
 
     #[test]
     fn common_rule_backends_agree_exactly(
-        desc in arb_program(true),
+        desc in arb_program(),
         threads in 1usize..5,
     ) {
         let p = build(&desc, true);
@@ -75,7 +68,7 @@ proptest! {
 
     #[test]
     fn priority_rule_backends_agree_exactly(
-        desc in arb_program(false),
+        desc in arb_program(),
         threads in 1usize..5,
     ) {
         // Min-pid priority is deterministic: exact equality required even
@@ -90,7 +83,7 @@ proptest! {
 
     #[test]
     fn arbitrary_rule_commits_are_admissible(
-        desc in arb_program(false),
+        desc in arb_program(),
         threads in 1usize..5,
     ) {
         // The threaded arbitrary winner need not match the simulator's,

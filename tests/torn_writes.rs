@@ -44,7 +44,10 @@ impl TwoWord {
         self.b.store(tag, Ordering::Relaxed);
     }
     fn read_pair(&self) -> (u64, u64) {
-        (self.a.load(Ordering::Relaxed), self.b.load(Ordering::Relaxed))
+        (
+            self.a.load(Ordering::Relaxed),
+            self.b.load(Ordering::Relaxed),
+        )
     }
 }
 

@@ -1,0 +1,287 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, the
+//! `criterion_group!` / `criterion_main!` macros — backed by a simple
+//! calibrate-then-sample wall-clock harness (median/mean/min per
+//! benchmark, printed to stdout; no statistics engine, no reports).
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement backends (only wall time here).
+pub mod measurement {
+    /// Wall-clock measurement (the default and only backend).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    defaults: GroupConfig,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct GroupConfig {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            defaults: GroupConfig {
+                sample_size: 10,
+                warm_up_time: Duration::from_millis(100),
+                measurement_time: Duration::from_millis(400),
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Accept and ignore CLI configuration (cargo-bench passes filters and
+    /// `--bench`; this stand-in runs everything).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        let config = self.defaults;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            config,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let config = self.defaults;
+        run_one(id, config, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    config: GroupConfig,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Calibration budget before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Total sampling budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.config, &mut f);
+        self
+    }
+
+    /// Benchmark `f(input)` under `id` within this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.config, |b| f(b, input));
+        self
+    }
+
+    /// Close the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// Just the parameter (for single-function groups).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, run in batches sized by the harness.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, config: GroupConfig, mut f: F) {
+    // Calibrate: grow the batch until one batch costs ~1/5 of the warmup
+    // budget, so per-sample noise is bounded without wasting the budget on
+    // sub-microsecond routines.
+    let target_batch = (config.warm_up_time / 5).max(Duration::from_micros(200));
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let calibration_start = Instant::now();
+    loop {
+        f(&mut b);
+        if b.elapsed >= target_batch
+            || b.iters >= 1 << 40
+            || calibration_start.elapsed() >= config.warm_up_time
+        {
+            break;
+        }
+        // Aim directly for the target using the observed rate; a fully
+        // optimized-away body can measure 0 ns, so floor at 1 ns/iter.
+        let per_iter = (b.elapsed.as_nanos() / u128::from(b.iters)).max(1);
+        let wanted = (target_batch.as_nanos() / per_iter).max(u128::from(b.iters) * 2);
+        b.iters = u64::try_from(wanted).unwrap_or(u64::MAX).max(b.iters + 1);
+    }
+
+    // Sample: fixed batch size, as many samples as fit the budget (at
+    // least 2, at most the configured sample count).
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(config.sample_size);
+    let sampling_start = Instant::now();
+    for i in 0..config.sample_size {
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        if i >= 1 && sampling_start.elapsed() >= config.measurement_time {
+            break;
+        }
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let min = samples_ns.first().copied().unwrap_or(0.0);
+    let median = samples_ns[samples_ns.len() / 2];
+    let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+    println!(
+        "bench {name:<60} median {} (mean {}, min {}, {} samples x {} iters)",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min),
+        samples_ns.len(),
+        b.iters,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10));
+        let mut runs = 0u64;
+        g.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("id", 7), &7u32, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Offline stand-in for the `crossbeam-utils` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the one item it uses: [`CachePadded`], with the same 128-byte alignment
+//! crossbeam uses on x86_64/aarch64 (covering adjacent-line prefetching).
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache and prefetch line.
+#[derive(Clone, Copy, Default, Hash, PartialEq, Eq)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns a value to the length of a cache line.
+    pub const fn new(value: T) -> CachePadded<T> {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded")
+            .field("value", &self.value)
+            .finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(t: T) -> Self {
+        CachePadded::new(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_is_at_least_128() {
+        assert!(std::mem::align_of::<CachePadded<u32>>() >= 128);
+        let a = [CachePadded::new(0u32), CachePadded::new(1u32)];
+        let p0 = &a[0] as *const _ as usize;
+        let p1 = &a[1] as *const _ as usize;
+        assert!(p1 - p0 >= 128);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut c = CachePadded::new(5u64);
+        *c += 1;
+        assert_eq!(*c, 6);
+        assert_eq!(c.into_inner(), 6);
+    }
+}

@@ -1,0 +1,107 @@
+//! Case scheduling: configuration, deterministic RNG, failure type.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test function runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; this stand-in is used with heavy
+        // multi-threaded kernels, so default lower. PROPTEST_CASES still
+        // overrides in both directions (see `effective_cases`).
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The case count actually run: `PROPTEST_CASES` env var, else the config.
+pub fn effective_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(v) => v.parse().unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+/// A failed case's report.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The deterministic per-case RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    /// Exposed within the crate so strategies can draw from it.
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for case `case` of test `name` — a pure function of both,
+    /// so failures reproduce across runs.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        TestRng {
+            rng: StdRng::seed_from_u64(
+                fnv1a(name) ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+        }
+    }
+}
+
+/// FNV-1a, for stable name hashing (DefaultHasher is not stable across
+/// releases).
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        use rand::RngCore as _;
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        let mut c = TestRng::for_case("t", 4);
+        assert_eq!(a.rng.next_u64(), b.rng.next_u64());
+        assert_ne!(b.rng.next_u64(), c.rng.next_u64());
+    }
+
+    #[test]
+    fn effective_cases_defaults_to_config() {
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(effective_cases(12), 12);
+    }
+}
