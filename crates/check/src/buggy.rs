@@ -1,0 +1,157 @@
+//! Deliberately broken arbiters: the checker's sensitivity controls.
+//!
+//! A model checker that never finds anything proves nothing — it may simply
+//! be blind. These types seed known violations that the exploration tiers
+//! **must** detect (`tests/check_arbiters.rs` asserts they do):
+//!
+//! * [`BuggyCasLtCell`] keeps CAS-LT's read-skip fast path but replaces the
+//!   compare-and-swap with a plain store — the classic check-then-act race.
+//!   Two threads that both load the stale round before either stores will
+//!   both "win". Single-threaded the cell is indistinguishable from the
+//!   real [`pram_core::CasLtCell`] (the unit tests below pin that), which
+//!   is exactly why stochastic tests pass it most of the time and why a
+//!   schedule-exploring checker is needed at all.
+//!
+//! The cells go through `pram_core::sync`, so under `--cfg pram_check` the
+//! racy load and store are both scheduling points.
+
+use std::ops::Range;
+
+use pram_core::sync::{AtomicU32, Ordering};
+use pram_core::{Round, SliceArbiter};
+
+/// CAS-LT with the CAS replaced by a check-then-act load/store pair.
+///
+/// Sound single-threaded; under concurrency, any schedule that interleaves
+/// two `try_claim` calls between their loads and stores produces two
+/// winners for the same `(cell, round)`.
+#[derive(Debug, Default)]
+pub struct BuggyCasLtCell {
+    last_round_updated: AtomicU32,
+}
+
+impl BuggyCasLtCell {
+    /// A never-claimed cell.
+    pub const fn new() -> BuggyCasLtCell {
+        BuggyCasLtCell {
+            last_round_updated: AtomicU32::new(0),
+        }
+    }
+
+    /// Claim for `round` — **racy**: the winner check and the update are
+    /// separate operations, so concurrent callers can all pass the check.
+    #[inline]
+    pub fn try_claim(&self, round: Round) -> bool {
+        let current = self.last_round_updated.load(Ordering::Relaxed);
+        if current >= round.get() {
+            return false;
+        }
+        // BUG (intentional): a real CAS-LT must compare_exchange from
+        // `current`; a plain store lets every thread that loaded the stale
+        // value commit a "win".
+        self.last_round_updated
+            .store(round.get(), Ordering::Relaxed);
+        true
+    }
+
+    /// Restore the never-claimed state.
+    pub fn reset(&mut self) {
+        *self.last_round_updated.get_mut() = 0;
+    }
+}
+
+/// An indexed family of [`BuggyCasLtCell`]s, so the broken scheme can be
+/// driven through the same generic models as the real arbiters.
+#[derive(Debug)]
+pub struct BuggyCasLtArray {
+    cells: Box<[BuggyCasLtCell]>,
+}
+
+impl BuggyCasLtArray {
+    /// `len` never-claimed cells.
+    pub fn new(len: usize) -> BuggyCasLtArray {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, BuggyCasLtCell::new);
+        BuggyCasLtArray {
+            cells: v.into_boxed_slice(),
+        }
+    }
+}
+
+impl SliceArbiter for BuggyCasLtArray {
+    fn len(&self) -> usize {
+        self.cells.len()
+    }
+    #[inline]
+    fn try_claim(&self, index: usize, round: Round) -> bool {
+        self.cells[index].try_claim(round)
+    }
+    fn reset_all(&self) {
+        for c in self.cells.iter() {
+            c.last_round_updated.store(0, Ordering::Relaxed);
+        }
+    }
+    fn reset_range(&self, range: Range<usize>) {
+        for c in &self.cells[range] {
+            c.last_round_updated.store(0, Ordering::Relaxed);
+        }
+    }
+    fn rearms_on_new_round(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Single-threaded, the buggy cell is behaviorally identical to the
+    // real CAS-LT — the bug exists only in interleavings, which is what
+    // makes it a useful sensitivity control for the checker.
+
+    #[test]
+    fn sequentially_indistinguishable_from_caslt() {
+        let buggy = BuggyCasLtCell::new();
+        let real = pram_core::CasLtCell::new();
+        for r in [Round::FIRST, Round::from_iteration(1), Round::FIRST] {
+            assert_eq!(
+                buggy.try_claim(r),
+                pram_core::Arbiter::try_claim(&real, r),
+                "sequential divergence at {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_claim_wins_then_loses_until_new_round() {
+        let c = BuggyCasLtCell::new();
+        assert!(c.try_claim(Round::FIRST));
+        assert!(!c.try_claim(Round::FIRST));
+        assert!(c.try_claim(Round::from_iteration(1)));
+        // Stale round after an advance loses.
+        assert!(!c.try_claim(Round::FIRST));
+    }
+
+    #[test]
+    fn reset_rearms() {
+        let mut c = BuggyCasLtCell::new();
+        assert!(c.try_claim(Round::FIRST));
+        c.reset();
+        assert!(c.try_claim(Round::FIRST));
+    }
+
+    #[test]
+    fn array_claims_and_resets() {
+        let a = BuggyCasLtArray::new(3);
+        assert_eq!(a.len(), 3);
+        assert!(a.try_claim(1, Round::FIRST));
+        assert!(!a.try_claim(1, Round::FIRST));
+        assert!(a.try_claim(2, Round::FIRST));
+        a.reset_range(1..2);
+        assert!(a.try_claim(1, Round::FIRST));
+        assert!(!a.try_claim(2, Round::FIRST));
+        a.reset_all();
+        assert!(a.try_claim(2, Round::FIRST));
+        assert!(a.rearms_on_new_round());
+    }
+}

@@ -1,0 +1,206 @@
+//! Exploration tiers over the lockstep executor: bounded-exhaustive DFS,
+//! seeded random/PCT schedules, and schedule replay.
+//!
+//! Every reported [`Violation`] carries its reproducer: the exact
+//! granted-thread schedule (and, for the random tier, the seed that
+//! generated it). `EXPERIMENTS.md` documents the replay workflow.
+
+use std::fmt;
+
+use crate::executor::run_one;
+use crate::models::Model;
+use crate::schedule::{Chooser, DfsChooser, FixedChooser, PctChooser, RandomChooser};
+
+/// Bounds for an exploration run.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreOptions {
+    /// Per-execution scheduling-point bound; exceeding it is a violation
+    /// (a runaway schedule), not a hang.
+    pub max_steps: usize,
+    /// Execution cap for the exhaustive tier; hitting it makes the report
+    /// incomplete rather than running unbounded.
+    pub max_executions: usize,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> ExploreOptions {
+        ExploreOptions {
+            max_steps: 20_000,
+            max_executions: 250_000,
+        }
+    }
+}
+
+/// A property failure, with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Name of the model that failed.
+    pub model: String,
+    /// What went wrong (model assertion, torn payload, deadlock, panic…).
+    pub message: String,
+    /// The granted-thread schedule of the failing execution; feed to
+    /// [`replay`] to reproduce it deterministically.
+    pub schedule: Vec<usize>,
+    /// For the random tier: the seed whose schedule failed; feed to
+    /// [`replay_seed`].
+    pub seed: Option<u64>,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation in model `{}`: {}", self.model, self.message)?;
+        writeln!(f, "  schedule (granted thread ids): {:?}", self.schedule)?;
+        if let Some(seed) = self.seed {
+            writeln!(f, "  random-tier seed: {seed:#x} (replay with replay_seed)")?;
+        }
+        write!(
+            f,
+            "  replay: pram_check::explore::replay(make_model, &{:?})",
+            self.schedule
+        )
+    }
+}
+
+/// Outcome of an exploration.
+#[derive(Debug)]
+pub struct ExploreReport {
+    /// Number of executions performed.
+    pub executions: usize,
+    /// `true` iff the schedule tree was fully enumerated (exhaustive tier
+    /// only; random tiers always report `false`).
+    pub complete: bool,
+    /// The first violation found, if any; exploration stops at the first.
+    pub violation: Option<Violation>,
+}
+
+impl ExploreReport {
+    /// Panic with the full reproducer if a violation was found — the
+    /// assertion helper for models expected to pass.
+    pub fn assert_clean(&self) {
+        if let Some(v) = &self.violation {
+            panic!("{v}\n  ({} executions before failure)", self.executions);
+        }
+    }
+}
+
+/// Exhaustively enumerate every schedule of `make()`'s model, depth-first,
+/// up to `opts.max_executions`.
+///
+/// `make` must build a *fresh, deterministic* model each call: the DFS
+/// replays choice prefixes, which only reach the same tree node if the
+/// model behaves identically under identical schedules.
+pub fn explore_exhaustive<M: Model>(
+    mut make: impl FnMut() -> M,
+    opts: &ExploreOptions,
+) -> ExploreReport {
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut executions = 0;
+    loop {
+        let mut model = make();
+        let mut chooser = DfsChooser::with_prefix(prefix);
+        let outcome = run_one(&mut model, &mut chooser, opts.max_steps);
+        executions += 1;
+        if let Some(message) = outcome.violation {
+            return ExploreReport {
+                executions,
+                complete: false,
+                violation: Some(Violation {
+                    model: model.name().to_string(),
+                    message,
+                    schedule: outcome.trace,
+                    seed: None,
+                }),
+            };
+        }
+        match chooser.next_prefix() {
+            None => {
+                return ExploreReport {
+                    executions,
+                    complete: true,
+                    violation: None,
+                }
+            }
+            Some(_) if executions >= opts.max_executions => {
+                return ExploreReport {
+                    executions,
+                    complete: false,
+                    violation: None,
+                }
+            }
+            Some(p) => prefix = p,
+        }
+    }
+}
+
+/// The chooser the random tier uses for a given seed: uniform-random for
+/// even seeds, PCT priority schedules (depths 2 and 3, alternating) for
+/// odd ones. One function so [`replay_seed`] reconstructs the exact
+/// chooser a failure report names.
+fn chooser_for_seed(seed: u64, threads: usize, opts: &ExploreOptions) -> Box<dyn Chooser> {
+    if seed.is_multiple_of(2) {
+        Box::new(RandomChooser::new(seed))
+    } else {
+        let depth = if seed % 4 == 1 { 2 } else { 3 };
+        Box::new(PctChooser::new(
+            seed,
+            threads,
+            depth,
+            opts.max_steps.min(64),
+        ))
+    }
+}
+
+/// Run `schedules` seeded random/PCT schedules (seeds `base_seed..`),
+/// stopping at the first violation.
+pub fn explore_random<M: Model>(
+    mut make: impl FnMut() -> M,
+    schedules: usize,
+    base_seed: u64,
+    opts: &ExploreOptions,
+) -> ExploreReport {
+    for i in 0..schedules {
+        let seed = base_seed.wrapping_add(i as u64);
+        let mut model = make();
+        let mut chooser = chooser_for_seed(seed, model.threads(), opts);
+        let outcome = run_one(&mut model, chooser.as_mut(), opts.max_steps);
+        if let Some(message) = outcome.violation {
+            return ExploreReport {
+                executions: i + 1,
+                complete: false,
+                violation: Some(Violation {
+                    model: model.name().to_string(),
+                    message,
+                    schedule: outcome.trace,
+                    seed: Some(seed),
+                }),
+            };
+        }
+    }
+    ExploreReport {
+        executions: schedules,
+        complete: false,
+        violation: None,
+    }
+}
+
+/// Re-execute one recorded schedule (as printed in a [`Violation`]).
+pub fn replay<M: Model>(mut make: impl FnMut() -> M, schedule: &[usize]) -> crate::RunOutcome {
+    let mut model = make();
+    let mut chooser = FixedChooser::new(schedule.to_vec());
+    run_one(
+        &mut model,
+        &mut chooser,
+        ExploreOptions::default().max_steps,
+    )
+}
+
+/// Re-execute the random-tier schedule generated by `seed`.
+pub fn replay_seed<M: Model>(
+    mut make: impl FnMut() -> M,
+    seed: u64,
+    opts: &ExploreOptions,
+) -> crate::RunOutcome {
+    let mut model = make();
+    let mut chooser = chooser_for_seed(seed, model.threads(), opts);
+    run_one(&mut model, chooser.as_mut(), opts.max_steps)
+}

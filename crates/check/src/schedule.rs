@@ -1,0 +1,338 @@
+//! Schedule policies: who runs next at each scheduling point.
+//!
+//! The executor serializes model threads and, at every scheduling point,
+//! asks a [`Chooser`] to pick the next thread from the *enabled* set (those
+//! parked at a scheduling point and not blocked on a lock). An execution is
+//! fully determined by the resulting sequence of choices, which makes every
+//! outcome replayable:
+//!
+//! * [`DfsChooser`] — systematic depth-first enumeration of the schedule
+//!   tree, for the bounded-exhaustive tier;
+//! * [`RandomChooser`] — uniform random choice from a seed;
+//! * [`PctChooser`] — PCT-style (Burckhardt et al., *A Randomized Scheduler
+//!   with Probabilistic Guarantees of Finding Bugs*) priority schedules:
+//!   highest-priority enabled thread runs, with `d - 1` random
+//!   priority-change points, which finds depth-`d` ordering bugs with
+//!   provable probability;
+//! * [`FixedChooser`] — replay of a recorded schedule.
+//!
+//! Policies are deliberately independent of the executor (and compiled in
+//! every build) so their enumeration logic is testable with plain unit
+//! tests, no instrumented runtime required.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A schedule policy: picks which thread runs at each scheduling point.
+pub trait Chooser {
+    /// Pick the thread to grant the next step, from `enabled` (nonempty,
+    /// ascending thread IDs). Returns one element of `enabled`.
+    fn pick(&mut self, enabled: &[usize]) -> usize;
+}
+
+/// Depth-first systematic enumeration of the schedule tree.
+///
+/// Each run replays a `prefix` of *choice indices* (positions within the
+/// enabled set, not thread IDs — the enabled set at a given depth is a
+/// deterministic function of the prefix) and defaults to index 0 beyond it.
+/// After the run, [`DfsChooser::next_prefix`] computes the next prefix in
+/// DFS order; `None` means the whole tree has been visited.
+#[derive(Debug, Default)]
+pub struct DfsChooser {
+    prefix: Vec<usize>,
+    /// Choice index taken at each depth of the completed run.
+    choices: Vec<usize>,
+    /// Size of the enabled set at each depth of the completed run.
+    widths: Vec<usize>,
+}
+
+impl DfsChooser {
+    /// The chooser for the first execution (all-zero choices).
+    pub fn first() -> DfsChooser {
+        DfsChooser::default()
+    }
+
+    /// A chooser replaying `prefix` and taking first-choice defaults after.
+    pub fn with_prefix(prefix: Vec<usize>) -> DfsChooser {
+        DfsChooser {
+            prefix,
+            ..DfsChooser::default()
+        }
+    }
+
+    /// The next unvisited prefix in DFS order, based on the run just
+    /// completed; `None` when the schedule tree is exhausted.
+    pub fn next_prefix(&self) -> Option<Vec<usize>> {
+        // Advance the deepest choice that still has an unvisited sibling;
+        // everything below it restarts at the first child.
+        for depth in (0..self.choices.len()).rev() {
+            if self.choices[depth] + 1 < self.widths[depth] {
+                let mut p = self.choices[..depth].to_vec();
+                p.push(self.choices[depth] + 1);
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Number of scheduling points in the completed run.
+    pub fn depth(&self) -> usize {
+        self.choices.len()
+    }
+}
+
+impl Chooser for DfsChooser {
+    fn pick(&mut self, enabled: &[usize]) -> usize {
+        let depth = self.choices.len();
+        // Clamp defensively: a prefix recorded from a deterministic run
+        // always stays in range, so the clamp only matters if a model is
+        // nondeterministic (which a later mismatch will surface anyway).
+        let idx = self
+            .prefix
+            .get(depth)
+            .copied()
+            .unwrap_or(0)
+            .min(enabled.len() - 1);
+        self.choices.push(idx);
+        self.widths.push(enabled.len());
+        enabled[idx]
+    }
+}
+
+/// Uniform random choice among enabled threads, deterministic per seed.
+#[derive(Debug)]
+pub struct RandomChooser {
+    rng: StdRng,
+}
+
+impl RandomChooser {
+    /// A chooser drawing from the given seed.
+    pub fn new(seed: u64) -> RandomChooser {
+        RandomChooser {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Chooser for RandomChooser {
+    fn pick(&mut self, enabled: &[usize]) -> usize {
+        enabled[self.rng.gen_range(0..enabled.len())]
+    }
+}
+
+/// PCT-style priority scheduling.
+///
+/// Threads get distinct random base priorities; the highest-priority
+/// enabled thread always runs. At `depth - 1` random step indices the
+/// currently leading thread is demoted below every other priority, forcing
+/// the schedule through a different ordering "layer". Uniform random
+/// schedules perturb *every* step and therefore rarely produce the long
+/// undisturbed stretches plus one adversarial switch that many real bugs
+/// need; PCT generates exactly that shape.
+#[derive(Debug)]
+pub struct PctChooser {
+    priorities: Vec<u64>,
+    change_at: Vec<usize>,
+    next_low: u64,
+    step: usize,
+}
+
+impl PctChooser {
+    /// A chooser for `threads` threads, bug depth `depth` (≥ 1), assuming
+    /// executions of about `expected_steps` scheduling points.
+    pub fn new(seed: u64, threads: usize, depth: usize, expected_steps: usize) -> PctChooser {
+        assert!(threads > 0, "need at least one thread");
+        assert!(depth > 0, "bug depth must be at least 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Base priorities above `threads` so demotions (which count down
+        // from `threads`) always rank below every base priority.
+        let mut priorities: Vec<u64> = (0..threads as u64).map(|t| threads as u64 + t).collect();
+        // Random permutation (Fisher–Yates) for the starting order.
+        for i in (1..priorities.len()).rev() {
+            priorities.swap(i, rng.gen_range(0..i + 1));
+        }
+        let change_at = (0..depth - 1)
+            .map(|_| rng.gen_range(0..expected_steps.max(1)))
+            .collect();
+        PctChooser {
+            priorities,
+            change_at,
+            next_low: threads as u64,
+            step: 0,
+        }
+    }
+}
+
+impl Chooser for PctChooser {
+    fn pick(&mut self, enabled: &[usize]) -> usize {
+        if self.change_at.contains(&self.step) {
+            // Demote the current leader below everything seen so far.
+            let &leader = enabled
+                .iter()
+                .max_by_key(|&&t| self.priorities[t])
+                .expect("enabled set is nonempty");
+            self.next_low = self.next_low.saturating_sub(1);
+            self.priorities[leader] = self.next_low;
+        }
+        self.step += 1;
+        *enabled
+            .iter()
+            .max_by_key(|&&t| self.priorities[t])
+            .expect("enabled set is nonempty")
+    }
+}
+
+/// Replay of a recorded schedule (a sequence of granted thread IDs).
+///
+/// If the recorded thread is not currently enabled (possible only if the
+/// model is nondeterministic) or the schedule is exhausted, falls back to
+/// the first enabled thread rather than failing.
+#[derive(Debug)]
+pub struct FixedChooser {
+    schedule: Vec<usize>,
+    pos: usize,
+    /// Whether every pick so far followed the recorded schedule exactly.
+    pub faithful: bool,
+}
+
+impl FixedChooser {
+    /// Replay `schedule` (as printed by a violation report).
+    pub fn new(schedule: Vec<usize>) -> FixedChooser {
+        FixedChooser {
+            schedule,
+            pos: 0,
+            faithful: true,
+        }
+    }
+}
+
+impl Chooser for FixedChooser {
+    fn pick(&mut self, enabled: &[usize]) -> usize {
+        let wanted = self.schedule.get(self.pos).copied();
+        self.pos += 1;
+        match wanted {
+            Some(t) if enabled.contains(&t) => t,
+            _ => {
+                self.faithful = false;
+                enabled[0]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a chooser through a fixed tree shape (same widths every run)
+    /// and return the choice sequence it made.
+    fn run_tree(ch: &mut DfsChooser, widths: &[usize]) -> Vec<usize> {
+        let mut taken = Vec::new();
+        for &w in widths {
+            let enabled: Vec<usize> = (0..w).collect();
+            taken.push(ch.pick(&enabled));
+        }
+        taken
+    }
+
+    #[test]
+    fn dfs_enumerates_full_tree_exactly_once() {
+        // A 2 × 3 × 2 tree: 12 leaves, visited in lexicographic order.
+        let widths = [2usize, 3, 2];
+        let mut prefix = Vec::new();
+        let mut seen = Vec::new();
+        loop {
+            let mut ch = DfsChooser::with_prefix(prefix);
+            let taken = run_tree(&mut ch, &widths);
+            seen.push(taken);
+            match ch.next_prefix() {
+                Some(p) => prefix = p,
+                None => break,
+            }
+        }
+        assert_eq!(seen.len(), 12);
+        let mut expected = Vec::new();
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..2 {
+                    expected.push(vec![a, b, c]);
+                }
+            }
+        }
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn dfs_handles_variable_depth() {
+        // Runs replaying a deeper sibling may terminate earlier (schedule
+        // choices change the program's length); next_prefix only ever
+        // extends/advances what was actually recorded.
+        let mut ch = DfsChooser::first();
+        ch.pick(&[0, 1]); // depth 0, width 2
+        assert_eq!(ch.next_prefix(), Some(vec![1]));
+        let mut ch = DfsChooser::with_prefix(vec![1]);
+        ch.pick(&[0, 1]);
+        assert_eq!(ch.next_prefix(), None);
+    }
+
+    #[test]
+    fn dfs_single_width_tree_is_one_execution() {
+        let mut ch = DfsChooser::first();
+        for _ in 0..5 {
+            assert_eq!(ch.pick(&[7]), 7);
+        }
+        assert_eq!(ch.next_prefix(), None);
+        assert_eq!(ch.depth(), 5);
+    }
+
+    #[test]
+    fn random_chooser_is_deterministic_per_seed() {
+        let enabled = [0usize, 1, 2, 3];
+        let mut a = RandomChooser::new(42);
+        let mut b = RandomChooser::new(42);
+        let mut c = RandomChooser::new(43);
+        let xs: Vec<usize> = (0..32).map(|_| a.pick(&enabled)).collect();
+        let ys: Vec<usize> = (0..32).map(|_| b.pick(&enabled)).collect();
+        let zs: Vec<usize> = (0..32).map(|_| c.pick(&enabled)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        assert!(xs.iter().all(|t| enabled.contains(t)));
+    }
+
+    #[test]
+    fn pct_runs_leader_until_change_point() {
+        let mut ch = PctChooser::new(7, 3, 2, 16);
+        let enabled = [0usize, 1, 2];
+        let picks: Vec<usize> = (0..16).map(|_| ch.pick(&enabled)).collect();
+        // All picks valid; the leader only changes at change points, so the
+        // sequence has at most `depth` distinct runs (here ≤ 2).
+        assert!(picks.iter().all(|t| enabled.contains(t)));
+        let switches = picks.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(switches <= 1, "depth-2 PCT made {switches} leader switches");
+        // Deterministic per seed.
+        let mut ch2 = PctChooser::new(7, 3, 2, 16);
+        let picks2: Vec<usize> = (0..16).map(|_| ch2.pick(&enabled)).collect();
+        assert_eq!(picks, picks2);
+    }
+
+    #[test]
+    fn pct_respects_enabled_set() {
+        let mut ch = PctChooser::new(1, 4, 3, 8);
+        for _ in 0..8 {
+            assert_eq!(ch.pick(&[2]), 2);
+        }
+    }
+
+    #[test]
+    fn fixed_chooser_replays_and_reports_divergence() {
+        let mut ch = FixedChooser::new(vec![2, 0, 1]);
+        assert_eq!(ch.pick(&[0, 1, 2]), 2);
+        assert_eq!(ch.pick(&[0, 1]), 0);
+        assert!(ch.faithful);
+        // Recorded thread 1 not enabled: falls back, flags divergence.
+        assert_eq!(ch.pick(&[0, 2]), 0);
+        assert!(!ch.faithful);
+        // Past the end of the schedule: first enabled.
+        assert_eq!(ch.pick(&[3, 4]), 3);
+    }
+}

@@ -17,8 +17,8 @@
 //! machinery lives in [`AtomicBitmap`] and the gatekeeper is a thin
 //! arbitration wrapper over it.
 
+use crate::sync::{AtomicU64, Ordering};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::round::Round;
 use crate::traits::SliceArbiter;

@@ -32,8 +32,8 @@
 //! forces a reset (see [`crate::RoundCounter`]); `CasLtCell64` trades 2×
 //! auxiliary memory for a practically inexhaustible round space.
 
+use crate::sync::{AtomicU32, AtomicU64, Ordering};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 use crossbeam_utils::CachePadded;
 
@@ -537,8 +537,8 @@ mod tests {
     #[test]
     fn exactly_one_winner_under_contention() {
         // The central invariant, hammered by real threads over many rounds.
-        let threads = 8;
-        let rounds = 200;
+        let threads = if cfg!(miri) { 4 } else { 8 };
+        let rounds = if cfg!(miri) { 4 } else { 200 };
         let cell = CasLtCell::new();
         let wins = AtomicUsize::new(0);
         let barrier = std::sync::Barrier::new(threads);

@@ -26,8 +26,8 @@
 //!   concurrent-write round (the paper's Figure 3(b), lines 34–35): an extra
 //!   O(K) pass with its own barrier, which CAS-LT eliminates.
 
+use crate::sync::{AtomicU32, Ordering};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 use crate::round::Round;
 use crate::traits::{Arbiter, SliceArbiter};
@@ -295,8 +295,8 @@ mod tests {
 
     #[test]
     fn exactly_one_winner_under_contention() {
-        let threads = 8;
-        let iters = 200;
+        let threads = if cfg!(miri) { 4 } else { 8 };
+        let iters = if cfg!(miri) { 4 } else { 200 };
         let wins = AtomicUsize::new(0);
         let barrier = std::sync::Barrier::new(threads);
         let mut g = GatekeeperCell::new();
@@ -318,8 +318,8 @@ mod tests {
 
     #[test]
     fn exactly_one_winner_skip_variant() {
-        let threads = 8;
-        let iters = 200;
+        let threads = if cfg!(miri) { 4 } else { 8 };
+        let iters = if cfg!(miri) { 4 } else { 200 };
         let wins = AtomicUsize::new(0);
         let mut g = GatekeeperSkipCell::new();
         for _ in 0..iters {

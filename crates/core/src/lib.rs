@@ -89,6 +89,7 @@ pub mod payload;
 pub mod priority;
 pub mod round;
 pub mod stats;
+pub mod sync;
 pub mod traits;
 
 pub use bitmap::{AtomicBitmap, BitGatekeeperArray};

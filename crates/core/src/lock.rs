@@ -14,7 +14,7 @@
 
 use std::ops::Range;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::round::Round;
 use crate::traits::{Arbiter, SliceArbiter};
@@ -154,10 +154,11 @@ mod tests {
     fn exactly_one_winner_under_contention() {
         let cell = LockCell::new();
         let wins = AtomicUsize::new(0);
-        let rounds = 100u32;
-        let barrier = std::sync::Barrier::new(8);
+        let threads = if cfg!(miri) { 4 } else { 8 };
+        let rounds = if cfg!(miri) { 4u32 } else { 100u32 };
+        let barrier = std::sync::Barrier::new(threads);
         std::thread::scope(|s| {
-            for _ in 0..8 {
+            for _ in 0..threads {
                 s.spawn(|| {
                     for i in 0..rounds {
                         barrier.wait();

@@ -85,6 +85,11 @@ impl<T> ConCell<T> {
     #[inline]
     pub unsafe fn write_with(&self, round: Round, f: impl FnOnce(&mut T)) -> bool {
         if self.claim.try_claim(round) {
+            // Under the checker, mark the payload as a write region so
+            // overlapping winners (a broken arbiter) surface as a
+            // torn-write violation instead of silent UB.
+            #[cfg(pram_check)]
+            let _region = crate::sync::RegionGuard::enter(self.value.get() as usize, true);
             // SAFETY: we are the unique winner for this round, and the
             // caller guarantees no other round's winner or reader overlaps.
             f(unsafe { &mut *self.value.get() });
@@ -101,6 +106,8 @@ impl<T> ConCell<T> {
     /// separated from claims by the round-closing barrier).
     #[inline]
     pub unsafe fn read(&self) -> &T {
+        #[cfg(pram_check)]
+        let _region = crate::sync::RegionGuard::enter(self.value.get() as usize, false);
         // SAFETY: caller guarantees no winner currently holds `&mut`.
         unsafe { &*self.value.get() }
     }
@@ -185,6 +192,8 @@ impl<T> ConVec<T> {
     #[inline]
     pub unsafe fn write_with(&self, index: usize, round: Round, f: impl FnOnce(&mut T)) -> bool {
         if self.claims.try_claim(index, round) {
+            #[cfg(pram_check)]
+            let _region = crate::sync::RegionGuard::enter(self.values[index].get() as usize, true);
             // SAFETY: unique winner for (index, round); discipline upheld
             // by caller.
             f(unsafe { &mut *self.values[index].get() });
@@ -200,6 +209,8 @@ impl<T> ConVec<T> {
     /// No open concurrent-write round for this index.
     #[inline]
     pub unsafe fn read(&self, index: usize) -> &T {
+        #[cfg(pram_check)]
+        let _region = crate::sync::RegionGuard::enter(self.values[index].get() as usize, false);
         // SAFETY: caller guarantees no winner holds `&mut` for this index.
         unsafe { &*self.values[index].get() }
     }
@@ -284,8 +295,8 @@ mod tests {
         // Many threads race to write distinct coherent structs in each
         // round; barriers between rounds uphold the discipline. The
         // committed struct must always be exactly one thread's payload.
-        let threads = 8;
-        let rounds = 100u32;
+        let threads = if cfg!(miri) { 4 } else { 8 };
+        let rounds = if cfg!(miri) { 4u32 } else { 100u32 };
         let cell = ConCell::new(Wide::coherent(0));
         let barrier = Barrier::new(threads);
         std::thread::scope(|s| {

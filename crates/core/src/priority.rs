@@ -27,8 +27,8 @@
 //! priority"). Priorities must be unique within a round for the winner to be
 //! unique; processor/thread IDs are the canonical choice.
 
+use crate::sync::{AtomicU64, Ordering};
 use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::round::Round;
 

@@ -12,9 +12,11 @@
 //! parent `parent[u]`'s CSR range and targeting `u`: a mixture from two
 //! writers would name an edge the parent does not own.
 
+use std::collections::HashSet;
+
 use pram_algos::bfs::{bfs_with_strategy, verify_bfs_levels, verify_bfs_tree, BfsStrategy};
 use pram_algos::CwMethod;
-use pram_exec::ThreadPool;
+use pram_exec::{FrontierBuffer, LocalBuffer, SpinBarrier, ThreadPool, WaitPolicy};
 use pram_graph::{CsrGraph, GraphGen};
 
 /// Repetitions per configuration; raise via STRESS_REPS for soak runs.
@@ -87,6 +89,99 @@ fn gnm_multigraph_discovery_is_single_winner() {
                     .unwrap_or_else(|e| panic!("rep {rep} {method}/{strategy}: {e}"));
             }
         }
+    }
+}
+
+/// The worklist substrate under maximal publication contention: many
+/// threads with deliberately ragged flush thresholds (1, 2, 3, …: some
+/// publish on every push, some in large bursts) interleaving threshold
+/// flushes with explicit mid-stream flushes. Every appended vertex must
+/// appear in the shared buffer exactly once — a duplicated or dropped
+/// vertex here becomes a wrong BFS frontier upstream.
+#[test]
+fn contended_local_buffer_flush_neither_drops_nor_duplicates() {
+    let threads = 8u64;
+    let per_thread = 5_000u64;
+    for rep in 0..reps() as u64 {
+        let fb = FrontierBuffer::with_capacity((threads * per_thread) as usize);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let fb = &fb;
+                s.spawn(move || {
+                    // Thread t flushes every t+1 pushes; also force an
+                    // explicit flush at irregular points mid-stream.
+                    let mut local = LocalBuffer::with_threshold(t as usize + 1);
+                    for i in 0..per_thread {
+                        local.push(t * per_thread + i, fb);
+                        if i % (97 + t * 13 + rep) == 0 {
+                            local.flush(fb);
+                        }
+                    }
+                    local.flush(fb);
+                    assert_eq!(local.staged(), 0, "flush must drain the staging buffer");
+                });
+            }
+        });
+        assert_eq!(
+            fb.len(),
+            (threads * per_thread) as usize,
+            "rep {rep}: dropped entries"
+        );
+        let all = fb.to_vec();
+        let distinct: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            all.len(),
+            "rep {rep}: duplicated entries in the published frontier"
+        );
+        assert!(
+            distinct.iter().all(|&x| x < threads * per_thread),
+            "rep {rep}: out-of-range entry (torn publication)"
+        );
+    }
+}
+
+/// The frontier's reuse cycle across rounds, synchronized the way the
+/// kernels do it: publish — barrier (last arriver snapshots and clears) —
+/// publish again. Clearing in the `wait_with` closure is the race-free
+/// slot, so every round must see exactly its own entries, for both wait
+/// policies and across many reuses of the same barrier object.
+#[test]
+fn barrier_reuse_across_rounds_isolates_frontier_generations() {
+    for policy in [WaitPolicy::Active, WaitPolicy::Passive] {
+        let threads = 6u64;
+        let rounds = 200u64;
+        let fb = FrontierBuffer::with_capacity((threads * rounds) as usize);
+        let barrier = SpinBarrier::new(threads as usize, policy, 64);
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let fb = &fb;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    for round in 0..rounds {
+                        // Round-opening rendezvous: the previous round's
+                        // clear happens-before these publishes.
+                        barrier.wait();
+                        fb.publish(&[round * threads + t]);
+                        // Round-closing rendezvous: the last arriver
+                        // checks this round's frontier and recycles it.
+                        barrier.wait_with(|| {
+                            let mut seen = fb.to_vec();
+                            seen.sort_unstable();
+                            let expected: Vec<u64> =
+                                (0..threads).map(|u| round * threads + u).collect();
+                            assert_eq!(
+                                seen, expected,
+                                "round {round}: frontier polluted across reuse"
+                            );
+                            fb.clear();
+                        });
+                    }
+                });
+            }
+        });
+        assert!(fb.is_empty(), "final clear must leave the buffer empty");
+        assert!(!barrier.is_poisoned());
     }
 }
 

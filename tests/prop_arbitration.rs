@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Barrier;
 
 use pram_core::{
-    CasLtArray, CasLtCell64, GatekeeperArray, GatekeeperSkipArray, LockArray, PriorityArray, Round,
-    SliceArbiter,
+    BitGatekeeperArray, CasLtArray, CasLtCell64, GatekeeperArray, GatekeeperSkipArray, LockArray,
+    PaddedCasLtArray, PriorityArray, Round, SliceArbiter,
 };
 use proptest::prelude::*;
 
@@ -38,6 +38,81 @@ fn hammer<A: SliceArbiter>(arb: &A, threads: usize, rounds: u32, reset_each_roun
         }
     });
     wins.load(Ordering::Relaxed)
+}
+
+/// One concurrent claim wave: `threads` threads race every cell of `arb`
+/// for `round`; returns total wins across all cells.
+fn claim_wave<A: SliceArbiter>(arb: &A, threads: usize, round: Round) -> usize {
+    let wins = AtomicUsize::new(0);
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                barrier.wait();
+                for c in 0..arb.len() {
+                    if arb.try_claim(c, round) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    wins.load(Ordering::Relaxed)
+}
+
+/// The `SliceArbiter::reset_all` / `rearms_on_new_round` consistency
+/// contract, for one scheme:
+///
+/// * a fresh arbiter yields exactly one winner per cell;
+/// * after `reset_all`, the *same* round yields exactly one winner per
+///   cell again (reset restores never-claimed for every scheme);
+/// * a strictly newer round yields one winner per cell **without** a reset
+///   iff `rearms_on_new_round()` — and for non-re-arming schemes, yields
+///   zero until the reset pass runs.
+fn reset_rearm_contract<A: SliceArbiter>(
+    name: &str,
+    arb: A,
+    threads: usize,
+    r0: Round,
+) -> Result<(), TestCaseError> {
+    let cells = arb.len();
+    prop_assert_eq!(
+        claim_wave(&arb, threads, r0),
+        cells,
+        "{}: fresh arbiter must have one winner per cell",
+        name
+    );
+    arb.reset_all();
+    prop_assert_eq!(
+        claim_wave(&arb, threads, r0),
+        cells,
+        "{}: reset_all must restore one winner per cell for the same round",
+        name
+    );
+    let r1 = r0.next().expect("test rounds stay far from the cap");
+    if arb.rearms_on_new_round() {
+        prop_assert_eq!(
+            claim_wave(&arb, threads, r1),
+            cells,
+            "{}: re-arming scheme must win a fresh round with no reset",
+            name
+        );
+    } else {
+        prop_assert_eq!(
+            claim_wave(&arb, threads, r1),
+            0,
+            "{}: non-re-arming scheme must yield no winner before its reset pass",
+            name
+        );
+        arb.reset_all();
+        prop_assert_eq!(
+            claim_wave(&arb, threads, r1),
+            cells,
+            "{}: the reset pass must recover the fresh round",
+            name
+        );
+    }
+    Ok(())
 }
 
 proptest! {
@@ -146,6 +221,24 @@ proptest! {
             .filter(|&&p| cell.is_winner(0, round, p))
             .count();
         prop_assert_eq!(winners, 1);
+    }
+
+    #[test]
+    fn reset_and_rearm_consistent_across_all_five_methods(
+        threads in 2usize..6,
+        cells in 1usize..10,
+        base in 0u32..1000,
+    ) {
+        // The paper's five arbitration schemes (CAS-LT in both layouts,
+        // the two gatekeeper flavours plus the packed bitmap form, and
+        // the lock baseline) must agree on what reset and re-arming mean.
+        let r0 = Round::from_iteration(base);
+        reset_rearm_contract("caslt", CasLtArray::new(cells), threads, r0)?;
+        reset_rearm_contract("caslt-padded", PaddedCasLtArray::new(cells), threads, r0)?;
+        reset_rearm_contract("gatekeeper", GatekeeperArray::new(cells), threads, r0)?;
+        reset_rearm_contract("gatekeeper-skip", GatekeeperSkipArray::new(cells), threads, r0)?;
+        reset_rearm_contract("bit-gatekeeper", BitGatekeeperArray::new(cells), threads, r0)?;
+        reset_rearm_contract("lock", LockArray::new(cells), threads, r0)?;
     }
 
     #[test]
