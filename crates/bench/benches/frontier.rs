@@ -13,8 +13,10 @@
 //! Also times dense vs worklist connected components on `rmat18`.
 //!
 //! Run with `cargo bench -p pram-bench --bench frontier`; set
-//! `PRAM_BENCH_THREADS` / `PRAM_BENCH_REPS` to override the defaults.
-//! Writes `BENCH_frontier.json` into the repository root (override the
+//! `PRAM_BENCH_THREADS` (a single count or a comma-separated sweep list,
+//! e.g. `1,2,4`) / `PRAM_BENCH_REPS` to override the defaults. Every
+//! result row records the thread count it ran under. Writes
+//! `BENCH_frontier.json` into the repository root (override the
 //! directory with `PRAM_BENCH_OUT`).
 
 use std::io::Write as _;
@@ -48,6 +50,25 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// `PRAM_BENCH_THREADS` as a single count or a comma-separated sweep
+/// list; defaults to the machine's available parallelism.
+fn env_threads_list() -> Vec<usize> {
+    let ncpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut list = std::env::var("PRAM_BENCH_THREADS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|x| x.trim().parse::<usize>().ok())
+                .filter(|&t| t >= 1)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![ncpus]);
+    list.sort_unstable();
+    list.dedup();
+    list
+}
+
 /// Highest-degree vertex — a deterministic, always-connected source.
 fn hub(g: &CsrGraph) -> u32 {
     (0..g.num_vertices())
@@ -57,16 +78,13 @@ fn hub(g: &CsrGraph) -> u32 {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let threads = env_usize(
-        "PRAM_BENCH_THREADS",
-        std::thread::available_parallelism().map_or(1, |p| p.get()),
-    );
+    let threads_list = env_threads_list();
     let reps = env_usize("PRAM_BENCH_REPS", if quick { 1 } else { 3 });
     let rmat_scale: u32 = if quick { 12 } else { 18 };
     let path_n: usize = if quick { 1 << 10 } else { 1 << 14 };
     let star_n: usize = if quick { 1 << 12 } else { 1 << 18 };
 
-    eprintln!("frontier bench: threads={threads} reps={reps} (median reported)");
+    eprintln!("frontier bench: threads={threads_list:?} reps={reps} (median reported)");
 
     let rmat_n = 1usize << rmat_scale;
     let workloads = [
@@ -91,64 +109,71 @@ fn main() {
         },
     ];
 
-    let pool = ThreadPool::new(threads);
+    // The in-edge views are graph preparation (like the CSR builds
+    // themselves), shared by every pull-capable traversal — not timed,
+    // and computed once across the whole thread sweep.
+    let revs: Vec<_> = workloads.iter().map(|w| w.graph.reverse()).collect();
+
     let mut rows: Vec<String> = Vec::new();
-    // (graph, strategy) -> median ms under CAS-LT, for the summary.
+    // (threads/graph/strategy) -> median ms under CAS-LT, for the summary.
     let mut caslt_ms: Vec<(String, f64)> = Vec::new();
 
-    for w in &workloads {
-        let g = &w.graph;
-        // The in-edge view is graph preparation (like the CSR build
-        // itself), shared by every pull-capable traversal — not timed.
-        let rev = g.reverse();
-        let source = if w.name == "rmat18" { hub(g) } else { w.source };
-        eprintln!(
-            "-- {}: n={} m={} source={}",
-            w.name,
-            g.num_vertices(),
-            g.num_directed_edges(),
-            source
-        );
-        for method in METHODS {
-            for strategy in BfsStrategy::ALL {
-                let t = time_median(reps, || {
-                    std::hint::black_box(bfs_with_strategy_rev(
-                        g, &rev, source, method, strategy, &pool,
+    for &threads in &threads_list {
+        let pool = ThreadPool::new(threads);
+        for (w, rev) in workloads.iter().zip(&revs) {
+            let g = &w.graph;
+            let source = if w.name == "rmat18" { hub(g) } else { w.source };
+            eprintln!(
+                "-- {} @ T={threads}: n={} m={} source={}",
+                w.name,
+                g.num_vertices(),
+                g.num_directed_edges(),
+                source
+            );
+            for method in METHODS {
+                for strategy in BfsStrategy::ALL {
+                    let t = time_median(reps, || {
+                        std::hint::black_box(bfs_with_strategy_rev(
+                            g, rev, source, method, strategy, &pool,
+                        ));
+                    });
+                    let t = ms(t);
+                    eprintln!(
+                        "   bfs/{}/{method}/{strategy}/T={threads}: {t:.3} ms",
+                        w.name
+                    );
+                    rows.push(format!(
+                        "{{\"kernel\": \"bfs\", \"graph\": \"{}\", \"method\": \"{method}\", \
+                         \"strategy\": \"{strategy}\", \"threads\": {threads}, \"ms\": {t:.4}}}",
+                        w.name
                     ));
-                });
-                let t = ms(t);
-                eprintln!("   bfs/{}/{method}/{strategy}: {t:.3} ms", w.name);
-                rows.push(format!(
-                    "{{\"kernel\": \"bfs\", \"graph\": \"{}\", \"method\": \"{method}\", \
-                     \"strategy\": \"{strategy}\", \"ms\": {t:.4}}}",
-                    w.name
-                ));
-                if method == CwMethod::CasLt {
-                    caslt_ms.push((format!("{}/{strategy}", w.name), t));
+                    if method == CwMethod::CasLt {
+                        caslt_ms.push((format!("{}/{strategy}/T={threads}", w.name), t));
+                    }
                 }
             }
         }
-    }
 
-    // CC: dense edge list vs active-edge worklist on the skewed graph.
-    let g = &workloads[0].graph;
-    for method in METHODS {
-        for (variant, run) in [
-            ("dense", connected_components as fn(_, _, _) -> _),
-            (
-                "worklist",
-                connected_components_worklist as fn(_, _, _) -> _,
-            ),
-        ] {
-            let t = time_median(reps, || {
-                std::hint::black_box(run(g, method, &pool));
-            });
-            let t = ms(t);
-            eprintln!("   cc/rmat18/{method}/{variant}: {t:.3} ms");
-            rows.push(format!(
-                "{{\"kernel\": \"cc\", \"graph\": \"rmat18\", \"method\": \"{method}\", \
-                 \"strategy\": \"{variant}\", \"ms\": {t:.4}}}"
-            ));
+        // CC: dense edge list vs active-edge worklist on the skewed graph.
+        let g = &workloads[0].graph;
+        for method in METHODS {
+            for (variant, run) in [
+                ("dense", connected_components as fn(_, _, _) -> _),
+                (
+                    "worklist",
+                    connected_components_worklist as fn(_, _, _) -> _,
+                ),
+            ] {
+                let t = time_median(reps, || {
+                    std::hint::black_box(run(g, method, &pool));
+                });
+                let t = ms(t);
+                eprintln!("   cc/rmat18/{method}/{variant}/T={threads}: {t:.3} ms");
+                rows.push(format!(
+                    "{{\"kernel\": \"cc\", \"graph\": \"rmat18\", \"method\": \"{method}\", \
+                     \"strategy\": \"{variant}\", \"threads\": {threads}, \"ms\": {t:.4}}}"
+                ));
+            }
         }
     }
 
@@ -176,13 +201,15 @@ fn main() {
             )
         })
         .collect();
+    let threads_json: Vec<String> = threads_list.iter().map(|t| t.to_string()).collect();
     let json = format!(
         "{{\n  \"bench\": \"frontier\",\n  \"command\": \"cargo bench -p pram-bench --bench frontier\",\n  \
-         \"threads\": {threads},\n  \"reps\": {reps},\n  \"quick\": {quick},\n  \
+         \"threads_swept\": [{threads_swept}],\n  \"reps\": {reps},\n  \"quick\": {quick},\n  \
          \"direction_alpha\": {DIRECTION_ALPHA},\n  \"direction_beta\": {DIRECTION_BETA},\n  \
          \"graphs\": [\n    {}\n  ],\n  \"results\": [\n    {}\n  ]\n}}\n",
         graphs.join(",\n    "),
-        rows.join(",\n    ")
+        rows.join(",\n    "),
+        threads_swept = threads_json.join(", ")
     );
     let mut f = std::fs::File::create(&path).expect("create BENCH_frontier.json");
     f.write_all(json.as_bytes())

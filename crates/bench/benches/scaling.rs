@@ -1,0 +1,301 @@
+//! Thread-scaling bench tier: team size × barrier topology × irregular
+//! loop schedule, over the frontier BFS kernels whose round structure
+//! stresses each axis differently:
+//!
+//! * `rmat18` + direction-optimizing BFS — few rounds, huge skewed
+//!   frontiers: schedule quality (dynamic cursor vs work stealing)
+//!   dominates, barriers are rare.
+//! * `path14` + top-down BFS — ~2^14 rounds of one-vertex frontiers:
+//!   pure barrier latency, executed tens of thousands of times; the
+//!   barrier topology (central vs dissemination) is the whole signal.
+//!
+//! Both run under CAS-LT (the paper's method; the method axis is
+//! `frontier.rs`'s job). Every `(barrier, schedule)` cell is swept over
+//! the thread list and reported with its **self-relative** speedup
+//! (time at the smallest team ÷ time at T), so topologies are compared
+//! by how they *scale*, not by their 1-thread constant.
+//!
+//! Run with `cargo bench -p pram-bench --bench scaling`; env overrides:
+//! `PRAM_BENCH_THREADS` (comma-separated sweep list, e.g. `1,2,4,8`),
+//! `PRAM_BENCH_REPS`, `PRAM_BENCH_OUT`. `--quick` shrinks graphs and the
+//! sweep for CI smoke runs. Writes `BENCH_scaling.json` into the
+//! repository root.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+use pram_algos::bfs::{bfs_with_strategy_rev, BfsStrategy};
+use pram_algos::CwMethod;
+use pram_bench::{ms, time_median};
+use pram_exec::{BarrierKind, PoolConfig, ScheduleKind, ThreadPool};
+use pram_graph::{CsrGraph, GraphGen};
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `PRAM_BENCH_THREADS` as a comma-separated sweep list; always includes
+/// the self-relative baseline team of 1.
+fn threads_sweep(default: Vec<usize>) -> Vec<usize> {
+    let mut list = std::env::var("PRAM_BENCH_THREADS")
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|x| x.trim().parse::<usize>().ok())
+                .filter(|&t| t >= 1)
+                .collect::<Vec<_>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or(default);
+    if !list.contains(&1) {
+        list.push(1);
+    }
+    list.sort_unstable();
+    list.dedup();
+    list
+}
+
+/// Highest-degree vertex — a deterministic, always-connected source.
+fn hub(g: &CsrGraph) -> u32 {
+    (0..g.num_vertices())
+        .max_by_key(|&v| g.offsets()[v + 1] - g.offsets()[v])
+        .unwrap_or(0) as u32
+}
+
+fn barrier_name(kind: BarrierKind) -> &'static str {
+    match kind {
+        BarrierKind::Central => "central",
+        BarrierKind::Dissemination => "dissemination",
+    }
+}
+
+fn schedule_name(kind: ScheduleKind) -> &'static str {
+    match kind {
+        ScheduleKind::Dynamic => "dynamic",
+        ScheduleKind::Stealing => "stealing",
+    }
+}
+
+struct Workload {
+    name: &'static str,
+    graph: CsrGraph,
+    strategy: BfsStrategy,
+}
+
+struct Row {
+    graph: &'static str,
+    strategy: BfsStrategy,
+    barrier: BarrierKind,
+    schedule: ScheduleKind,
+    threads: usize,
+    ms: f64,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ncpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // Powers of two up to at least 4: on small boxes the sweep is
+    // deliberately oversubscribed — that regime is exactly what the
+    // passive backoff and the O(log T) barrier are for.
+    let default_sweep: Vec<usize> = if quick {
+        vec![1, 2]
+    } else {
+        let top = ncpus.max(4);
+        (0..)
+            .map(|k| 1usize << k)
+            .take_while(|&t| t <= top)
+            .collect()
+    };
+    let threads_list = threads_sweep(default_sweep);
+    let reps = env_usize("PRAM_BENCH_REPS", if quick { 1 } else { 3 });
+    let rmat_scale: u32 = if quick { 11 } else { 18 };
+    let path_n: usize = if quick { 1 << 9 } else { 1 << 14 };
+    let method = CwMethod::CasLt;
+
+    eprintln!(
+        "scaling bench: threads={threads_list:?} reps={reps} machine_parallelism={ncpus} \
+         (median reported)"
+    );
+
+    let rmat_n = 1usize << rmat_scale;
+    let workloads = [
+        Workload {
+            name: "rmat18",
+            graph: CsrGraph::from_edges(
+                rmat_n,
+                &GraphGen::new(42).rmat_standard(rmat_scale, rmat_n * 16),
+                true,
+            ),
+            strategy: BfsStrategy::DirectionOptimizing,
+        },
+        Workload {
+            name: "path14",
+            graph: CsrGraph::from_edges(path_n, &GraphGen::path(path_n), true),
+            strategy: BfsStrategy::TopDown,
+        },
+    ];
+
+    const BARRIERS: [BarrierKind; 2] = [BarrierKind::Central, BarrierKind::Dissemination];
+    const SCHEDULES: [ScheduleKind; 2] = [ScheduleKind::Dynamic, ScheduleKind::Stealing];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for w in &workloads {
+        let g = &w.graph;
+        let rev = g.reverse();
+        let source = if w.name == "rmat18" { hub(g) } else { 0 };
+        eprintln!(
+            "-- {}: n={} m={} strategy={} source={source}",
+            w.name,
+            g.num_vertices(),
+            g.num_directed_edges(),
+            w.strategy
+        );
+        for barrier in BARRIERS {
+            for schedule in SCHEDULES {
+                for &t in &threads_list {
+                    let pool = ThreadPool::with_config(
+                        PoolConfig::new(t).barrier(barrier).irregular(schedule),
+                    );
+                    let elapsed = time_median(reps, || {
+                        std::hint::black_box(bfs_with_strategy_rev(
+                            g, &rev, source, method, w.strategy, &pool,
+                        ));
+                    });
+                    let t_ms = ms(elapsed);
+                    eprintln!(
+                        "   bfs/{}/{}/{}/T={t}: {t_ms:.3} ms",
+                        w.name,
+                        barrier_name(barrier),
+                        schedule_name(schedule)
+                    );
+                    rows.push(Row {
+                        graph: w.name,
+                        strategy: w.strategy,
+                        barrier,
+                        schedule,
+                        threads: t,
+                        ms: t_ms,
+                    });
+                }
+            }
+        }
+    }
+
+    // Self-relative speedups: each (graph, barrier, schedule) cell is
+    // normalized to its own smallest-team time.
+    let base_threads = threads_list[0];
+    let baseline = |r: &Row| {
+        rows.iter()
+            .find(|b| {
+                b.graph == r.graph
+                    && b.barrier == r.barrier
+                    && b.schedule == r.schedule
+                    && b.threads == base_threads
+            })
+            .map(|b| b.ms)
+            .expect("baseline row exists for every cell")
+    };
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let speedup = baseline(r) / r.ms;
+            assert!(
+                speedup.is_finite() && speedup > 0.0,
+                "degenerate speedup for {}/{}/{}/T={}",
+                r.graph,
+                barrier_name(r.barrier),
+                schedule_name(r.schedule),
+                r.threads
+            );
+            format!(
+                "{{\"kernel\": \"bfs\", \"graph\": \"{}\", \"method\": \"{method}\", \
+                 \"strategy\": \"{}\", \"barrier\": \"{}\", \"schedule\": \"{}\", \
+                 \"threads\": {}, \"ms\": {:.4}, \"speedup_self_rel\": {:.4}}}",
+                r.graph,
+                r.strategy,
+                barrier_name(r.barrier),
+                schedule_name(r.schedule),
+                r.threads,
+                r.ms,
+                speedup
+            )
+        })
+        .collect();
+
+    // Headline comparisons at the largest team: the scalable pair
+    // (dissemination + stealing) against the centralized pair
+    // (central + dynamic), per kernel.
+    let max_t = *threads_list.last().unwrap();
+    let cell = |graph: &str, barrier: BarrierKind, schedule: ScheduleKind| {
+        rows.iter()
+            .find(|r| {
+                r.graph == graph
+                    && r.barrier == barrier
+                    && r.schedule == schedule
+                    && r.threads == max_t
+            })
+            .map(|r| r.ms)
+            .expect("swept cell exists")
+    };
+    let mut comparisons: Vec<String> = Vec::new();
+    for w in &workloads {
+        let central = cell(w.name, BarrierKind::Central, ScheduleKind::Dynamic);
+        let scalable = cell(w.name, BarrierKind::Dissemination, ScheduleKind::Stealing);
+        let ratio = central / scalable;
+        assert!(ratio.is_finite() && ratio > 0.0);
+        eprintln!(
+            "summary {}/T={max_t}: central+dynamic {central:.3} ms, \
+             dissemination+stealing {scalable:.3} ms ({ratio:.2}x)",
+            w.name
+        );
+        comparisons.push(format!(
+            "{{\"graph\": \"{}\", \"threads\": {max_t}, \"central_dynamic_ms\": {central:.4}, \
+             \"dissemination_stealing_ms\": {scalable:.4}, \
+             \"dissemination_stealing_speedup\": {ratio:.4}}}",
+            w.name
+        ));
+    }
+
+    let out_dir = std::env::var("PRAM_BENCH_OUT").map_or_else(
+        |_| {
+            // benches run with CWD = crate root (crates/bench); the JSON
+            // belongs two levels up, next to EXPERIMENTS.md.
+            PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+        },
+        PathBuf::from,
+    );
+    let path = out_dir.join("BENCH_scaling.json");
+    let graphs: Vec<String> = workloads
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"name\": \"{}\", \"vertices\": {}, \"directed_edges\": {}, \
+                 \"strategy\": \"{}\"}}",
+                w.name,
+                w.graph.num_vertices(),
+                w.graph.num_directed_edges(),
+                w.strategy
+            )
+        })
+        .collect();
+    let threads_json: Vec<String> = threads_list.iter().map(|t| t.to_string()).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scaling\",\n  \
+         \"command\": \"cargo bench -p pram-bench --bench scaling\",\n  \
+         \"threads_swept\": [{}],\n  \"machine_parallelism\": {ncpus},\n  \
+         \"reps\": {reps},\n  \"quick\": {quick},\n  \"method\": \"{method}\",\n  \
+         \"graphs\": [\n    {}\n  ],\n  \"results\": [\n    {}\n  ],\n  \
+         \"comparisons\": [\n    {}\n  ]\n}}\n",
+        threads_json.join(", "),
+        graphs.join(",\n    "),
+        json_rows.join(",\n    "),
+        comparisons.join(",\n    ")
+    );
+    let mut f = std::fs::File::create(&path).expect("create BENCH_scaling.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_scaling.json");
+    eprintln!("wrote {}", path.display());
+}

@@ -33,10 +33,15 @@
 //!   of granted thread IDs printed with every violation).
 //!
 //! [`models`] packages the substrate's invariants as checkable [`models::Model`]s
-//! (single winner, reset/re-arm, priority minimum, payload non-tearing), and
-//! [`buggy`] provides deliberately broken arbiters — a check-then-act
-//! CAS-LT with the CAS replaced by a plain store — that the checker must
-//! *catch*, pinning its own sensitivity.
+//! (single winner, reset/re-arm, priority minimum, payload non-tearing),
+//! [`sync_models`] extends the same treatment to the execution substrate's
+//! own synchronization (the dissemination barrier's no-early-release /
+//! episode-reuse / broadcast-visibility contract, and the work-stealing
+//! loop's no-drop / no-duplicate coverage), and [`buggy`] provides
+//! deliberately broken implementations — a check-then-act CAS-LT, a
+//! dissemination barrier one signal round short, a stealer that drops part
+//! of its stolen batch — that the checker must *catch*, pinning its own
+//! sensitivity.
 //!
 //! The schedule policies ([`schedule`]) and the buggy arbiters compile and
 //! unit-test in every build; only the executor/explorer/models need the
@@ -58,8 +63,10 @@ pub mod executor;
 pub mod explore;
 #[cfg(pram_check)]
 pub mod models;
+#[cfg(pram_check)]
+pub mod sync_models;
 
-pub use buggy::{BuggyCasLtArray, BuggyCasLtCell};
+pub use buggy::{BuggyCasLtArray, BuggyCasLtCell, DroppingStealer, EarlyReleaseBarrier};
 pub use schedule::{Chooser, DfsChooser, FixedChooser, PctChooser, RandomChooser};
 
 #[cfg(pram_check)]
@@ -71,3 +78,5 @@ pub use explore::{
 };
 #[cfg(pram_check)]
 pub use models::Model;
+#[cfg(pram_check)]
+pub use sync_models::{BarrierLockstep, ModelBarrier, ModelStealSource, StealCoverage};

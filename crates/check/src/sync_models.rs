@@ -1,0 +1,223 @@
+//! Checkable models for the execution substrate's synchronization
+//! primitives: the dissemination barrier and the work-stealing loop.
+//!
+//! The arbitration models ([`crate::models`]) assume their barrier — the
+//! phase boundary between `run` calls is a total order the executor
+//! provides for free. These models check the *barrier itself* (and the
+//! stealing deques), which therefore must synchronize **inside** a single
+//! phase, through the instrumented `pram_core::sync` facade:
+//!
+//! * [`BarrierLockstep`] — threads run several barrier episodes in one
+//!   phase body, checking after every rendezvous that (a) all
+//!   participants had arrived before anyone was released, (b) the
+//!   `wait_with` closure's effect is visible to every member immediately
+//!   after the barrier, and (c) exactly one member is elected per
+//!   episode. Running ≥ 2 episodes exercises reuse: the episode-stamp
+//!   flags are never reset, so a stale-release bug would surface as a
+//!   thread sailing through episode 2 on episode 1's stamps.
+//! * [`StealCoverage`] — threads drain a pre-seeded set of chunk deques,
+//!   marking every index they execute; afterwards every index must have
+//!   been executed exactly once (no drop, no duplicate), under every
+//!   explored interleaving of pops and steals.
+//!
+//! Both are generic over the primitive so the same program drives the
+//! real implementation (must stay clean) and the seeded bugs in
+//! [`crate::buggy`] (must be caught): [`EarlyReleaseBarrier`] and
+//! [`DroppingStealer`].
+//!
+//! Only the dissemination topology is modelable: the centralized
+//! `SpinBarrier` waits on plain `std` atomics the checker cannot see (a
+//! model thread spinning there would never reach a scheduling point and
+//! the lockstep executor would hang waiting for quiescence).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+
+use pram_exec::{DisseminationBarrier, StealQueues};
+
+use crate::buggy::{DroppingStealer, EarlyReleaseBarrier};
+use crate::models::Model;
+
+/// The barrier surface [`BarrierLockstep`] drives — object-safe so one
+/// model program covers the real barrier and the buggy seed.
+pub trait ModelBarrier: Sync {
+    /// Rendezvous as member `tid`; `true` on exactly one member.
+    fn wait(&self, tid: usize) -> bool;
+    /// Rendezvous; the elected member runs `f` before any member returns.
+    fn wait_with(&self, tid: usize, f: &mut dyn FnMut()) -> bool;
+}
+
+impl ModelBarrier for DisseminationBarrier {
+    fn wait(&self, tid: usize) -> bool {
+        DisseminationBarrier::wait(self, tid)
+    }
+    fn wait_with(&self, tid: usize, f: &mut dyn FnMut()) -> bool {
+        DisseminationBarrier::wait_with(self, tid, || f())
+    }
+}
+
+impl ModelBarrier for EarlyReleaseBarrier {
+    fn wait(&self, tid: usize) -> bool {
+        EarlyReleaseBarrier::wait(self, tid)
+    }
+    fn wait_with(&self, tid: usize, f: &mut dyn FnMut()) -> bool {
+        EarlyReleaseBarrier::wait_with(self, tid, || f())
+    }
+}
+
+/// Multi-episode barrier rendezvous with arrival, broadcast-visibility,
+/// and single-election checks (see module docs). Even episodes use
+/// `wait`, odd episodes `wait_with` + a broadcast slot.
+pub struct BarrierLockstep<B> {
+    name: String,
+    barrier: B,
+    threads: usize,
+    episodes: usize,
+    /// Bookkeeping in plain `std` atomics: no scheduling points.
+    arrived: Vec<AtomicUsize>,
+    elections: Vec<AtomicUsize>,
+    slot: Vec<AtomicU32>,
+    early_release: AtomicBool,
+    stale_broadcast: AtomicBool,
+}
+
+impl<B: ModelBarrier> BarrierLockstep<B> {
+    /// `threads` members running `episodes` back-to-back rendezvous.
+    pub fn new(name: &str, barrier: B, threads: usize, episodes: usize) -> BarrierLockstep<B> {
+        let mk_usize = || {
+            let mut v = Vec::with_capacity(episodes);
+            v.resize_with(episodes, || AtomicUsize::new(0));
+            v
+        };
+        let mut slot = Vec::with_capacity(episodes);
+        slot.resize_with(episodes, || AtomicU32::new(0));
+        BarrierLockstep {
+            name: name.to_string(),
+            barrier,
+            threads,
+            episodes,
+            arrived: mk_usize(),
+            elections: mk_usize(),
+            slot,
+            early_release: AtomicBool::new(false),
+            stale_broadcast: AtomicBool::new(false),
+        }
+    }
+}
+
+impl<B: ModelBarrier> Model for BarrierLockstep<B> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn threads(&self) -> usize {
+        self.threads
+    }
+    fn run(&self, _phase: usize, tid: usize) {
+        for e in 0..self.episodes {
+            self.arrived[e].fetch_add(1, Ordering::Relaxed);
+            let elected = if e % 2 == 0 {
+                self.barrier.wait(tid)
+            } else {
+                let stamp = e as u32 + 1;
+                self.barrier
+                    .wait_with(tid, &mut || self.slot[e].store(stamp, Ordering::Relaxed))
+            };
+            if elected {
+                self.elections[e].fetch_add(1, Ordering::Relaxed);
+            }
+            // Arrival counts are monotone, so observing fewer than
+            // `threads` arrivals *after* the rendezvous proves a release
+            // before some member arrived.
+            if self.arrived[e].load(Ordering::Relaxed) != self.threads {
+                self.early_release.store(true, Ordering::Relaxed);
+            }
+            if e % 2 == 1 && self.slot[e].load(Ordering::Relaxed) != e as u32 + 1 {
+                self.stale_broadcast.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+    fn check_final(&self) -> Result<(), String> {
+        if self.early_release.load(Ordering::Relaxed) {
+            return Err("barrier released early: a member returned before all arrived".to_string());
+        }
+        if self.stale_broadcast.load(Ordering::Relaxed) {
+            return Err("wait_with closure effect not visible to a released member".to_string());
+        }
+        for (e, n) in self.elections.iter().enumerate() {
+            let n = n.load(Ordering::Relaxed);
+            if n != 1 {
+                return Err(format!("episode {e}: expected exactly 1 election, got {n}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The queue surface [`StealCoverage`] drains.
+pub trait ModelStealSource: Sync {
+    /// Next range for `tid` to execute, or `None` when the loop is drained.
+    fn next(&self, tid: usize) -> Option<Range<usize>>;
+}
+
+impl ModelStealSource for StealQueues {
+    fn next(&self, tid: usize) -> Option<Range<usize>> {
+        StealQueues::next(self, tid, None)
+    }
+}
+
+impl ModelStealSource for DroppingStealer {
+    fn next(&self, tid: usize) -> Option<Range<usize>> {
+        DroppingStealer::next(self, tid)
+    }
+}
+
+/// No-drop / no-duplicate coverage of a pre-seeded stealing loop (see
+/// module docs). Seed the queues before handing them in — construction
+/// runs on the unhooked main thread, so seeding adds no scheduling
+/// points.
+pub struct StealCoverage<Q> {
+    name: String,
+    queues: Q,
+    threads: usize,
+    hits: Vec<AtomicU32>,
+}
+
+impl<Q: ModelStealSource> StealCoverage<Q> {
+    /// `threads` drainers over index space `0..len`.
+    pub fn new(name: &str, queues: Q, threads: usize, len: usize) -> StealCoverage<Q> {
+        let mut hits = Vec::with_capacity(len);
+        hits.resize_with(len, || AtomicU32::new(0));
+        StealCoverage {
+            name: name.to_string(),
+            queues,
+            threads,
+            hits,
+        }
+    }
+}
+
+impl<Q: ModelStealSource> Model for StealCoverage<Q> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn threads(&self) -> usize {
+        self.threads
+    }
+    fn run(&self, _phase: usize, tid: usize) {
+        while let Some(r) = self.queues.next(tid) {
+            for i in r {
+                self.hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    fn check_final(&self) -> Result<(), String> {
+        for (i, h) in self.hits.iter().enumerate() {
+            match h.load(Ordering::Relaxed) {
+                1 => {}
+                0 => return Err(format!("index {i} dropped: never executed")),
+                n => return Err(format!("index {i} duplicated: executed {n} times")),
+            }
+        }
+        Ok(())
+    }
+}

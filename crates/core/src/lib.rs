@@ -102,5 +102,5 @@ pub use naive::{NaiveArbiter, NaiveCell};
 pub use payload::{ConCell, ConVec};
 pub use priority::{PriorityArray, PriorityCell};
 pub use round::{Round, RoundCounter, RoundOverflow};
-pub use stats::{CountingArbiter, CwStats, CwStatsSnapshot};
+pub use stats::{CountingArbiter, CwStats, CwStatsSnapshot, ExecStats, ExecWorkerSnapshot};
 pub use traits::{try_claim_all, Arbiter, SliceArbiter};

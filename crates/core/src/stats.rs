@@ -163,6 +163,161 @@ impl CasLtCell {
     }
 }
 
+/// Per-worker execution-substrate counters: barrier waits and
+/// loop-scheduling grab/steal traffic.
+///
+/// Where [`CwStats`] attributes *arbitration* cost (fast path vs RMW),
+/// `ExecStats` attributes *runtime* cost: how often each worker hit a
+/// barrier, how long it waited there, and how its loop iterations were
+/// acquired (owned grabs vs steals). The scaling benches use it to split
+/// wall time into synchronization vs work — the difference between a
+/// barrier-bound regime (high-diameter graphs: thousands of rounds, tiny
+/// frontiers) and a work-bound one (skewed graphs: few rounds, heavy
+/// frontiers).
+///
+/// Every counter is a `Relaxed` atomic on its own cache line, and each
+/// worker only increments its own slot, so collection never serializes the
+/// threads it observes. The substrate keeps recording behind an
+/// `Option` — when stats are disabled, the hot paths pay one predictable
+/// branch and no atomic traffic.
+#[derive(Debug)]
+pub struct ExecStats {
+    workers: Box<[CachePadded<WorkerSlots>]>,
+}
+
+#[derive(Debug, Default)]
+struct WorkerSlots {
+    barrier_waits: AtomicU64,
+    barrier_wait_ns: AtomicU64,
+    grabs: AtomicU64,
+    steal_attempts: AtomicU64,
+    steals: AtomicU64,
+}
+
+impl ExecStats {
+    /// Zeroed counters for a team of `threads` workers.
+    pub fn new(threads: usize) -> ExecStats {
+        let mut v = Vec::with_capacity(threads);
+        v.resize_with(threads, || CachePadded::new(WorkerSlots::default()));
+        ExecStats {
+            workers: v.into_boxed_slice(),
+        }
+    }
+
+    /// Team size the counters were built for.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Record one barrier rendezvous by worker `tid`, including the time
+    /// it spent waiting (nanoseconds).
+    #[inline]
+    pub fn record_barrier_wait(&self, tid: usize, wait_ns: u64) {
+        let w = &self.workers[tid];
+        w.barrier_waits.fetch_add(1, Ordering::Relaxed);
+        w.barrier_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+    }
+
+    /// Record one loop-chunk acquisition by worker `tid` from its own
+    /// share (a shared-cursor grab or an owned-deque pop).
+    #[inline]
+    pub fn record_grab(&self, tid: usize) {
+        self.workers[tid].grabs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one steal attempt by worker `tid` (its own share was empty);
+    /// `hit` is whether a victim chunk was actually taken.
+    #[inline]
+    pub fn record_steal(&self, tid: usize, hit: bool) {
+        let w = &self.workers[tid];
+        w.steal_attempts.fetch_add(1, Ordering::Relaxed);
+        if hit {
+            w.steals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A consistent-enough copy of one worker's counters.
+    pub fn worker_snapshot(&self, tid: usize) -> ExecWorkerSnapshot {
+        let w = &self.workers[tid];
+        ExecWorkerSnapshot {
+            barrier_waits: w.barrier_waits.load(Ordering::Relaxed),
+            barrier_wait_ns: w.barrier_wait_ns.load(Ordering::Relaxed),
+            grabs: w.grabs.load(Ordering::Relaxed),
+            steal_attempts: w.steal_attempts.load(Ordering::Relaxed),
+            steals: w.steals.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sum of all workers' counters.
+    pub fn total_snapshot(&self) -> ExecWorkerSnapshot {
+        let mut total = ExecWorkerSnapshot::default();
+        for tid in 0..self.threads() {
+            let s = self.worker_snapshot(tid);
+            total.barrier_waits += s.barrier_waits;
+            total.barrier_wait_ns += s.barrier_wait_ns;
+            total.grabs += s.grabs;
+            total.steal_attempts += s.steal_attempts;
+            total.steals += s.steals;
+        }
+        total
+    }
+
+    /// Zero all counters (quiescent periods only).
+    pub fn reset(&self) {
+        for w in self.workers.iter() {
+            w.barrier_waits.store(0, Ordering::Relaxed);
+            w.barrier_wait_ns.store(0, Ordering::Relaxed);
+            w.grabs.store(0, Ordering::Relaxed);
+            w.steal_attempts.store(0, Ordering::Relaxed);
+            w.steals.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Point-in-time values of one worker's (or the whole team's summed)
+/// execution counters; see [`ExecStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecWorkerSnapshot {
+    /// Barrier rendezvous completed.
+    pub barrier_waits: u64,
+    /// Nanoseconds spent waiting at barriers.
+    pub barrier_wait_ns: u64,
+    /// Loop chunks acquired from the worker's own share.
+    pub grabs: u64,
+    /// Steal attempts made after the own share drained.
+    pub steal_attempts: u64,
+    /// Steal attempts that took a chunk from a victim.
+    pub steals: u64,
+}
+
+impl ExecWorkerSnapshot {
+    /// Fraction of acquired chunks that were stolen, in `[0, 1]`.
+    pub fn steal_ratio(&self) -> f64 {
+        let total = self.grabs + self.steals;
+        if total == 0 {
+            0.0
+        } else {
+            self.steals as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for ExecWorkerSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "barrier_waits={} barrier_wait_ms={:.3} grabs={} steal_attempts={} steals={} \
+             (steal ratio {:.1}%)",
+            self.barrier_waits,
+            self.barrier_wait_ns as f64 / 1e6,
+            self.grabs,
+            self.steal_attempts,
+            self.steals,
+            self.steal_ratio() * 100.0
+        )
+    }
+}
+
 /// Wraps any [`SliceArbiter`], counting attempts and wins.
 ///
 /// Scheme-agnostic (it cannot see inside the wrapped arbiter, so fast-path
@@ -295,6 +450,34 @@ mod tests {
         assert_eq!(snap.rmw_per_attempt(), 0.0);
         let txt = format!("{}", s.snapshot());
         assert!(txt.contains("attempts=0"));
+    }
+
+    #[test]
+    fn exec_stats_per_worker_and_totals() {
+        let s = ExecStats::new(2);
+        assert_eq!(s.threads(), 2);
+        s.record_barrier_wait(0, 1_000);
+        s.record_barrier_wait(0, 500);
+        s.record_grab(0);
+        s.record_steal(1, false);
+        s.record_steal(1, true);
+        let w0 = s.worker_snapshot(0);
+        assert_eq!(w0.barrier_waits, 2);
+        assert_eq!(w0.barrier_wait_ns, 1_500);
+        assert_eq!(w0.grabs, 1);
+        let w1 = s.worker_snapshot(1);
+        assert_eq!(w1.steal_attempts, 2);
+        assert_eq!(w1.steals, 1);
+        let total = s.total_snapshot();
+        assert_eq!(total.barrier_waits, 2);
+        assert_eq!(total.grabs, 1);
+        assert_eq!(total.steals, 1);
+        assert!((total.steal_ratio() - 0.5).abs() < 1e-9);
+        let txt = format!("{total}");
+        assert!(txt.contains("steals=1"));
+        s.reset();
+        assert_eq!(s.total_snapshot(), ExecWorkerSnapshot::default());
+        assert_eq!(ExecWorkerSnapshot::default().steal_ratio(), 0.0);
     }
 
     #[test]

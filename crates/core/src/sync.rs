@@ -41,9 +41,31 @@ pub use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 #[cfg(pram_check)]
 pub use shim::{
-    emit, hook_installed, set_check_hook, AtomicU32, AtomicU64, CheckEvent, CheckHook, Mutex,
-    MutexGuard, Ordering, RegionGuard,
+    emit, hook_installed, park_hint, set_check_hook, unpark_hint, AtomicU32, AtomicU64, CheckEvent,
+    CheckHook, Mutex, MutexGuard, Ordering, RegionGuard,
 };
+
+/// Checker hint: the calling thread is spin-waiting on the word at `addr`
+/// and cannot make progress until another thread calls
+/// [`unpark_hint`]`(addr)`.
+///
+/// In normal builds this is a no-op — production spin loops implement
+/// their own wait policy (spin / yield / timed park). Under
+/// `--cfg pram_check` it reports a `Blocked(addr)` event, so the lockstep
+/// scheduler parks the spinner instead of exploring an unbounded number of
+/// failed re-reads; the matching `unpark_hint` on the writer side
+/// re-enables it. Callers must re-check their predicate after returning
+/// (wakeups may be spurious: any release of `addr` unparks all its
+/// waiters).
+#[cfg(not(pram_check))]
+#[inline(always)]
+pub fn park_hint(_addr: usize) {}
+
+/// Checker hint: the word at `addr` was just advanced; wake any thread
+/// parked by [`park_hint`]`(addr)`. No-op in normal builds.
+#[cfg(not(pram_check))]
+#[inline(always)]
+pub fn unpark_hint(_addr: usize) {}
 
 #[cfg(pram_check)]
 mod shim {
@@ -110,6 +132,26 @@ mod shim {
     /// Whether the calling thread currently has a hook installed.
     pub fn hook_installed() -> bool {
         HOOK.with(|h| h.borrow().is_some())
+    }
+
+    /// Instrumented spin-wait hint: park the calling thread (via a
+    /// `Blocked(addr)` event) until a matching [`unpark_hint`]. With no
+    /// hook installed, degrade to a yield so uncontrolled `pram_check`
+    /// builds stay live. See the non-shim doc for the contract.
+    #[inline]
+    pub fn park_hint(addr: usize) {
+        if hook_installed() {
+            emit(CheckEvent::Blocked(addr));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+
+    /// Instrumented wake hint: report `Released(addr)` so threads parked
+    /// by [`park_hint`]`(addr)` become schedulable again.
+    #[inline]
+    pub fn unpark_hint(addr: usize) {
+        emit(CheckEvent::Released(addr));
     }
 
     /// Report `event` to the calling thread's hook, if any.

@@ -1,4 +1,7 @@
-//! Pool configuration: team size and wait policy.
+//! Pool configuration: team size, wait policy, barrier topology, and the
+//! irregular-loop scheduling preference.
+
+use crate::schedule::ScheduleKind;
 
 /// How a thread waits at a barrier (the analog of `OMP_WAIT_POLICY`).
 ///
@@ -20,6 +23,29 @@ pub enum WaitPolicy {
     Passive,
 }
 
+/// Barrier topology for the pool's team-wide rendezvous.
+///
+/// The paper's kernels are lock-step: on high-diameter inputs (a 2^14
+/// path runs ~16k BFS rounds) the barrier executes tens of thousands of
+/// times and its cost structure dominates wall time, so the topology is
+/// configurable:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BarrierKind {
+    /// One shared arrival counter + generation word
+    /// ([`crate::SpinBarrier`]). Cheapest at small team sizes — a single
+    /// `fetch_add` per arrival — but every arrival contends the same cache
+    /// line, the centralized hot spot that collapses as teams grow.
+    #[default]
+    Central,
+    /// Dissemination barrier ([`crate::DisseminationBarrier`]):
+    /// `ceil(log2 T)` rounds of pairwise signaling through per-thread,
+    /// cache-line-padded flag slots. No shared counter at all — each flag
+    /// has exactly one writer and one reader — so arrival traffic scales
+    /// as O(T log T) *uncontended* stores instead of O(T) CASes on one
+    /// line.
+    Dissemination,
+}
+
 /// Configuration for [`crate::ThreadPool`].
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
@@ -29,6 +55,17 @@ pub struct PoolConfig {
     pub wait_policy: WaitPolicy,
     /// Spin iterations before the passive policy starts yielding.
     pub spin_before_yield: u32,
+    /// Barrier topology.
+    pub barrier: BarrierKind,
+    /// How irregular worksharing loops
+    /// ([`crate::WorkerCtx::for_each_frontier`] and other callers of
+    /// [`crate::WorkerCtx::irregular_schedule`]) distribute chunks:
+    /// shared-cursor dynamic or per-worker work stealing.
+    pub irregular: ScheduleKind,
+    /// Collect per-worker [`pram_core::ExecStats`] (barrier waits,
+    /// grab/steal counts). Off by default: recording costs one branch on
+    /// the hot paths when disabled, atomic increments when enabled.
+    pub collect_stats: bool,
 }
 
 impl PoolConfig {
@@ -51,15 +88,37 @@ impl PoolConfig {
         self.spin_before_yield = iters;
         self
     }
+
+    /// Override the barrier topology.
+    pub fn barrier(mut self, kind: BarrierKind) -> PoolConfig {
+        self.barrier = kind;
+        self
+    }
+
+    /// Override the irregular-loop scheduling preference.
+    pub fn irregular(mut self, kind: ScheduleKind) -> PoolConfig {
+        self.irregular = kind;
+        self
+    }
+
+    /// Enable or disable per-worker execution statistics.
+    pub fn collect_stats(mut self, on: bool) -> PoolConfig {
+        self.collect_stats = on;
+        self
+    }
 }
 
 impl Default for PoolConfig {
-    /// One thread per available core, passive waiting.
+    /// One thread per available core, passive waiting, central barrier,
+    /// dynamic irregular loops, no stats.
     fn default() -> PoolConfig {
         PoolConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             wait_policy: WaitPolicy::Passive,
             spin_before_yield: 128,
+            barrier: BarrierKind::Central,
+            irregular: ScheduleKind::Dynamic,
+            collect_stats: false,
         }
     }
 }
@@ -72,10 +131,16 @@ mod tests {
     fn builder_chains() {
         let c = PoolConfig::new(7)
             .wait_policy(WaitPolicy::Active)
-            .spin_before_yield(5);
+            .spin_before_yield(5)
+            .barrier(BarrierKind::Dissemination)
+            .irregular(ScheduleKind::Stealing)
+            .collect_stats(true);
         assert_eq!(c.threads, 7);
         assert_eq!(c.wait_policy, WaitPolicy::Active);
         assert_eq!(c.spin_before_yield, 5);
+        assert_eq!(c.barrier, BarrierKind::Dissemination);
+        assert_eq!(c.irregular, ScheduleKind::Stealing);
+        assert!(c.collect_stats);
     }
 
     #[test]
@@ -83,5 +148,8 @@ mod tests {
         let c = PoolConfig::default();
         assert!(c.threads >= 1);
         assert_eq!(c.wait_policy, WaitPolicy::Passive);
+        assert_eq!(c.barrier, BarrierKind::Central);
+        assert_eq!(c.irregular, ScheduleKind::Dynamic);
+        assert!(!c.collect_stats);
     }
 }

@@ -18,9 +18,18 @@
 //!   [`WorkerCtx::barrier`], [`WorkerCtx::converge_rounds`] (the
 //!   `while(!done)` lock-step pattern of the paper's BFS and CC kernels,
 //!   with barrier-separated [`pram_core::Round`]s supplied automatically).
-//! * [`SpinBarrier`] — a sense-reversing centralized barrier with an
-//!   active (pure spin, `OMP_WAIT_POLICY=active`) or passive
-//!   (spin-then-yield) [`WaitPolicy`].
+//! * [`SpinBarrier`] / [`DisseminationBarrier`] — the team rendezvous, in
+//!   two topologies selected by [`BarrierKind`]: a sense-reversing
+//!   centralized barrier (one shared arrival counter) and an O(log T)
+//!   dissemination barrier (pairwise signaling through padded per-thread
+//!   flags, no shared hot spot). Both support an active (pure spin,
+//!   `OMP_WAIT_POLICY=active`) or passive (spin → yield → timed park)
+//!   [`WaitPolicy`].
+//! * [`StealQueues`] — per-worker chunk deques with steal-half
+//!   rebalancing, backing [`Schedule::Stealing`]: locality-preserving
+//!   static seeding with dynamic rebalancing only under skew, as an
+//!   alternative to the shared-cursor dynamic schedule for irregular
+//!   loops ([`PoolConfig::irregular`] picks the family pool-wide).
 //! * [`FrontierBuffer`] / [`LocalBuffer`] — grow-local,
 //!   publish-with-one-`fetch_add` shared worklists for frontier-centric
 //!   kernels, consumed through the degree-weighted
@@ -59,9 +68,11 @@ pub mod config;
 pub mod frontier;
 pub mod pool;
 pub mod schedule;
+pub mod steal;
 
-pub use barrier::SpinBarrier;
-pub use config::{PoolConfig, WaitPolicy};
+pub use barrier::{DisseminationBarrier, SpinBarrier, TeamBarrier, WaitBackoff};
+pub use config::{BarrierKind, PoolConfig, WaitPolicy};
 pub use frontier::{FrontierBuffer, LocalBuffer};
 pub use pool::{ChangedFlag, ThreadPool, WorkerCtx, FRONTIER_GRAIN_EDGES};
-pub use schedule::Schedule;
+pub use schedule::{Schedule, ScheduleKind};
+pub use steal::StealQueues;

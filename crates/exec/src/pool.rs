@@ -26,12 +26,13 @@ use std::thread::JoinHandle;
 
 use crossbeam_utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
-use pram_core::Round;
+use pram_core::{ExecStats, Round};
 
-use crate::barrier::SpinBarrier;
+use crate::barrier::TeamBarrier;
 use crate::config::PoolConfig;
 use crate::frontier::FrontierBuffer;
-use crate::schedule::{guided_grab, static_block, static_chunks, Schedule};
+use crate::schedule::{guided_grab, static_block, static_chunks, Schedule, ScheduleKind};
+use crate::steal::StealQueues;
 
 /// Default per-grab edge budget for [`WorkerCtx::for_each_frontier`]:
 /// enough edge work to amortize one shared-cursor `fetch_add`, small
@@ -67,10 +68,19 @@ struct DispatchState {
 
 struct PoolShared {
     threads: usize,
-    barrier: SpinBarrier,
+    barrier: TeamBarrier,
     /// Shared loop cursor for dynamic/guided scheduling. Reset by the
     /// barrier releaser at loop entry, so no reset/grab race exists.
     cursor: CachePadded<AtomicUsize>,
+    /// Per-worker chunk deques for `Schedule::Stealing`. Reuse across
+    /// loops is barrier-separated (see the stealing arm of
+    /// `for_each_nowait`), so one set serves every loop.
+    steal: StealQueues,
+    /// Pool-wide preference for irregular loops
+    /// (`WorkerCtx::irregular_schedule`).
+    irregular: ScheduleKind,
+    /// Per-worker execution counters, when `PoolConfig::collect_stats`.
+    stats: Option<ExecStats>,
     /// Double-buffered convergence flags for `converge_rounds`; round `i`
     /// uses slot `i % 2`, and barrier spacing guarantees slot reuse is
     /// race-free (see `converge_rounds`).
@@ -119,8 +129,16 @@ impl ThreadPool {
         assert!(config.threads >= 1, "a team needs at least one thread");
         let shared = Arc::new(PoolShared {
             threads: config.threads,
-            barrier: SpinBarrier::new(config.threads, config.wait_policy, config.spin_before_yield),
+            barrier: TeamBarrier::new(
+                config.barrier,
+                config.threads,
+                config.wait_policy,
+                config.spin_before_yield,
+            ),
             cursor: CachePadded::new(AtomicUsize::new(0)),
+            steal: StealQueues::new(config.threads),
+            irregular: config.irregular,
+            stats: config.collect_stats.then(|| ExecStats::new(config.threads)),
             changed: [
                 CachePadded::new(AtomicBool::new(false)),
                 CachePadded::new(AtomicBool::new(false)),
@@ -156,6 +174,13 @@ impl ThreadPool {
     /// Team size (including the caller's thread).
     pub fn num_threads(&self) -> usize {
         self.shared.threads
+    }
+
+    /// Per-worker execution statistics (barrier waits, grab/steal counts),
+    /// if enabled via [`PoolConfig::collect_stats`]. Counters accumulate
+    /// across regions; call [`ExecStats::reset`] between measurements.
+    pub fn stats(&self) -> Option<&ExecStats> {
+        self.shared.stats.as_ref()
     }
 
     /// Execute `f` on every team member — enter a parallel region.
@@ -310,21 +335,55 @@ impl WorkerCtx<'_> {
         self.shared.threads
     }
 
-    /// Team-wide barrier. Returns `true` on the releasing member.
+    /// Per-worker execution statistics, if enabled via
+    /// [`PoolConfig::collect_stats`].
+    #[inline]
+    pub fn stats(&self) -> Option<&ExecStats> {
+        self.shared.stats.as_ref()
+    }
+
+    /// The pool's irregular-loop schedule ([`PoolConfig::irregular`])
+    /// instantiated at `chunk` — what [`WorkerCtx::for_each_frontier`]
+    /// passes to [`WorkerCtx::for_each`].
+    #[inline]
+    pub fn irregular_schedule(&self, chunk: usize) -> Schedule {
+        self.shared.irregular.with_chunk(chunk)
+    }
+
+    /// Team-wide barrier. Returns `true` on the electing member (the
+    /// releaser for the central topology, member 0 for dissemination —
+    /// either way, exactly one member, and only after all have arrived).
     ///
     /// This is the "synchronization point" the paper requires between a
     /// concurrent-write round and dependent reads.
     #[inline]
     pub fn barrier(&self) -> bool {
-        self.shared.barrier.wait()
+        match &self.shared.stats {
+            None => self.shared.barrier.wait(self.id),
+            Some(st) => {
+                let t0 = std::time::Instant::now();
+                let r = self.shared.barrier.wait(self.id);
+                st.record_barrier_wait(self.id, t0.elapsed().as_nanos() as u64);
+                r
+            }
+        }
     }
 
-    /// Barrier whose releasing member runs `f` before releasing — the
-    /// race-free slot for re-arming shared per-round state (e.g. a
-    /// gatekeeper array's reset pass, when done serially).
+    /// Barrier whose elected member runs `f` after all members arrive and
+    /// before any member proceeds — the race-free slot for re-arming
+    /// shared per-round state (e.g. a gatekeeper array's reset pass, when
+    /// done serially).
     #[inline]
     pub fn barrier_with(&self, f: impl FnOnce()) -> bool {
-        self.shared.barrier.wait_with(f)
+        match &self.shared.stats {
+            None => self.shared.barrier.wait_with(self.id, f),
+            Some(st) => {
+                let t0 = std::time::Instant::now();
+                let r = self.shared.barrier.wait_with(self.id, f);
+                st.record_barrier_wait(self.id, t0.elapsed().as_nanos() as u64);
+                r
+            }
+        }
     }
 
     /// Worksharing loop over `range` with the implicit ending barrier
@@ -343,8 +402,10 @@ impl WorkerCtx<'_> {
     /// [`WorkerCtx::for_each`] without the ending barrier (`nowait`).
     ///
     /// Dynamic and guided schedules still synchronize once at loop *entry*
-    /// (the shared cursor must be reset by a full rendezvous); static
-    /// schedules are entirely synchronization-free.
+    /// (the shared cursor must be reset by a full rendezvous), and the
+    /// stealing schedule twice (quiesce the previous loop's deque users,
+    /// then publish the seeded deques); static schedules are entirely
+    /// synchronization-free.
     pub fn for_each_nowait(
         &self,
         range: Range<usize>,
@@ -370,12 +431,38 @@ impl WorkerCtx<'_> {
                 let chunk = chunk.max(1);
                 let cursor = &self.shared.cursor;
                 self.barrier_with(|| cursor.store(0, Ordering::Relaxed));
+                let stats = self.shared.stats.as_ref();
                 loop {
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if start >= len {
                         break;
                     }
+                    if let Some(st) = stats {
+                        st.record_grab(self.id);
+                    }
                     for i in start..(start + chunk).min(len) {
+                        f(base + i);
+                    }
+                }
+            }
+            Schedule::Stealing { chunk } => {
+                let chunk = chunk.max(1);
+                let queues = &self.shared.steal;
+                // Quiesce: a member of a *previous* stealing loop may still
+                // be scanning these deques (it exits its grab loop only
+                // after observing every deque empty); nobody repopulates
+                // until every member has reached this rendezvous.
+                self.barrier();
+                queues.populate(self.id, len, chunk);
+                // Publish: every deque is seeded before anyone grabs, so a
+                // thief cannot observe a not-yet-populated deque as "done".
+                self.barrier();
+                let stats = self.shared.stats.as_ref();
+                while let Some(r) = queues.next(self.id, stats) {
+                    if let Some(st) = stats {
+                        st.record_grab(self.id);
+                    }
+                    for i in r {
                         f(base + i);
                     }
                 }
@@ -521,7 +608,9 @@ impl WorkerCtx<'_> {
         // Keep at least a few grabs per member so dynamic assignment can
         // actually balance.
         let chunk = chunk.min(len / (4 * self.shared.threads) + 1);
-        self.for_each(0..len, Schedule::Dynamic { chunk }, |i| f(frontier.get(i)));
+        self.for_each(0..len, self.irregular_schedule(chunk), |i| {
+            f(frontier.get(i))
+        });
     }
 
     /// The lock-step convergence loop of the paper's BFS and CC kernels
@@ -639,6 +728,119 @@ mod tests {
     #[test]
     fn for_each_guided_covers_exactly_once() {
         check_for_each(4, 257, Schedule::Guided { min_chunk: 2 });
+    }
+
+    #[test]
+    fn for_each_stealing_covers_exactly_once() {
+        check_for_each(4, 101, Schedule::Stealing { chunk: 3 });
+        check_for_each(3, 7, Schedule::Stealing { chunk: 100 });
+        check_for_each(1, 50, Schedule::Stealing { chunk: 4 });
+    }
+
+    #[test]
+    fn stealing_rebalances_skewed_work() {
+        // One worker's static block carries almost all the work; with
+        // stealing the loop still covers everything exactly once, and the
+        // heavy block's chunks end up spread across the team.
+        let pool = ThreadPool::with_config(
+            PoolConfig::new(4)
+                .irregular(ScheduleKind::Stealing)
+                .collect_stats(true),
+        );
+        let len = 4096;
+        let counts: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|ctx| {
+            ctx.for_each(0..len, ctx.irregular_schedule(8), |i| {
+                // Worker 0's static block (first quarter) is 100x heavier.
+                if i < len / 4 {
+                    std::hint::black_box((0..100).sum::<u64>());
+                }
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "index {i}");
+        }
+        // Every chunk grabbed exactly once team-wide.
+        let total = pool.stats().unwrap().total_snapshot();
+        assert_eq!(total.grabs, (len / 8) as u64);
+    }
+
+    #[test]
+    fn repeated_stealing_loops_are_isolated() {
+        // Back-to-back stealing loops over different ranges: the entry
+        // barriers must keep one loop's deques from bleeding into the next.
+        let pool = ThreadPool::new(4);
+        let a: Vec<AtomicU64> = (0..300).map(|_| AtomicU64::new(0)).collect();
+        pool.run(|ctx| {
+            for round in 0..20u64 {
+                ctx.for_each(0..a.len(), Schedule::Stealing { chunk: 2 }, |i| {
+                    a[i].fetch_add(round + 1, Ordering::Relaxed);
+                });
+            }
+        });
+        let expect: u64 = (1..=20).sum();
+        for (i, slot) in a.iter().enumerate() {
+            assert_eq!(slot.load(Ordering::Relaxed), expect, "index {i}");
+        }
+    }
+
+    #[test]
+    fn dissemination_pool_runs_all_constructs() {
+        use crate::config::BarrierKind;
+        let pool = ThreadPool::with_config(
+            PoolConfig::new(4)
+                .barrier(BarrierKind::Dissemination)
+                .collect_stats(true),
+        );
+        let sum = AtomicU64::new(0);
+        pool.run(|ctx| {
+            ctx.for_each(0..1000, Schedule::Dynamic { chunk: 7 }, |i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+            let c = ctx.converge_rounds(10, |round, flag| {
+                if round.get() < 3 {
+                    flag.set();
+                }
+                ctx.barrier();
+            });
+            assert_eq!(c.rounds, 3);
+            let r = ctx.reduce(1u64, |x, y| x + y);
+            assert_eq!(r, 4);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 1000 * 999 / 2);
+        // Stats recorded barrier waits for every member.
+        let st = pool.stats().unwrap();
+        for tid in 0..4 {
+            assert!(st.worker_snapshot(tid).barrier_waits > 0, "tid {tid}");
+        }
+    }
+
+    #[test]
+    fn dissemination_pool_panic_propagates_and_poisons() {
+        use crate::config::BarrierKind;
+        let pool = ThreadPool::with_config(PoolConfig::new(4).barrier(BarrierKind::Dissemination));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(|ctx| {
+                if ctx.thread_id() == 2 {
+                    panic!("boom in worker");
+                }
+                ctx.barrier();
+            });
+        }));
+        assert!(r.is_err());
+        let r2 = catch_unwind(AssertUnwindSafe(|| pool.run(|_| {})));
+        assert!(r2.is_err());
+    }
+
+    #[test]
+    fn stats_disabled_by_default() {
+        let pool = ThreadPool::new(2);
+        pool.run(|ctx| {
+            assert!(ctx.stats().is_none());
+            ctx.barrier();
+        });
+        assert!(pool.stats().is_none());
     }
 
     #[test]

@@ -38,6 +38,18 @@ pub enum Schedule {
         /// Smallest grab size (≥ 1).
         min_chunk: usize,
     },
+    /// Per-worker chunk deques with steal-half rebalancing
+    /// ([`crate::StealQueues`]): each worker seeds its deque with its
+    /// static block split into `chunk`-sized ranges, drains it in order
+    /// (preserving the cache locality dynamic scheduling destroys), and
+    /// only when its own deque is empty steals the back half of a
+    /// victim's. Uncontended loops touch no shared state after seeding;
+    /// skewed loops rebalance without funneling every grab through one
+    /// shared cursor.
+    Stealing {
+        /// Indices per deque chunk (≥ 1).
+        chunk: usize,
+    },
 }
 
 impl Default for Schedule {
@@ -57,6 +69,35 @@ impl Schedule {
     /// Guided with min chunk 1.
     pub fn guided() -> Schedule {
         Schedule::Guided { min_chunk: 1 }
+    }
+
+    /// Stealing with chunk 1 — maximal rebalancing granularity; useful in
+    /// tests.
+    pub fn stealing() -> Schedule {
+        Schedule::Stealing { chunk: 1 }
+    }
+}
+
+/// The *family* of schedule an irregular loop should use, with the chunk
+/// size left to the call site (frontier loops compute a degree-weighted
+/// chunk per round). [`crate::PoolConfig::irregular`] selects this
+/// pool-wide; [`crate::WorkerCtx::irregular_schedule`] instantiates it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleKind {
+    /// One shared cursor, `fetch_add` per grab ([`Schedule::Dynamic`]).
+    #[default]
+    Dynamic,
+    /// Per-worker deques with steal-half ([`Schedule::Stealing`]).
+    Stealing,
+}
+
+impl ScheduleKind {
+    /// The concrete [`Schedule`] for this kind at the given chunk size.
+    pub fn with_chunk(self, chunk: usize) -> Schedule {
+        match self {
+            ScheduleKind::Dynamic => Schedule::Dynamic { chunk },
+            ScheduleKind::Stealing => Schedule::Stealing { chunk },
+        }
     }
 }
 
@@ -186,6 +227,20 @@ mod tests {
         assert_eq!(Schedule::default(), Schedule::Static { chunk: None });
         assert_eq!(Schedule::dynamic(), Schedule::Dynamic { chunk: 1 });
         assert_eq!(Schedule::guided(), Schedule::Guided { min_chunk: 1 });
+        assert_eq!(Schedule::stealing(), Schedule::Stealing { chunk: 1 });
+    }
+
+    #[test]
+    fn schedule_kind_instantiates_with_chunk() {
+        assert_eq!(ScheduleKind::default(), ScheduleKind::Dynamic);
+        assert_eq!(
+            ScheduleKind::Dynamic.with_chunk(7),
+            Schedule::Dynamic { chunk: 7 }
+        );
+        assert_eq!(
+            ScheduleKind::Stealing.with_chunk(3),
+            Schedule::Stealing { chunk: 3 }
+        );
     }
 
     #[test]

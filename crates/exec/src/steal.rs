@@ -1,0 +1,254 @@
+//! Per-worker chunk deques with steal-half rebalancing — the substrate
+//! behind [`crate::Schedule::Stealing`].
+//!
+//! The shared-cursor dynamic schedule balances perfectly but funnels every
+//! grab through one contended `fetch_add`, and hands out chunks in global
+//! index order — a worker's consecutive chunks are usually far apart, so
+//! the cache locality a static partition would have given is destroyed.
+//! Work stealing keeps both properties at once: each worker seeds its own
+//! deque with its *static block* of the index space split into
+//! `chunk`-sized ranges, then drains it front-to-back (contiguous,
+//! cache-friendly, touching only its own lock). Only when its deque runs
+//! dry does it scan the other workers and steal the **back half** of the
+//! first non-empty victim deque — back half because the victim pops from
+//! the front, so the back is the work it would reach last (coldest in its
+//! cache, warmest for rebalancing), and half because one steal then
+//! amortizes over many subsequent local pops.
+//!
+//! The deques are plain locked `VecDeque`s behind the [`pram_core::sync`]
+//! facade rather than lock-free Chase–Lev deques: the uncontended
+//! `parking_lot` fast path is a single CAS (comparable to a Chase–Lev
+//! bottom update), the ranges grabbed are coarse enough that queue
+//! operations are off the critical path, and — decisively for this
+//! workspace — the facade lets `pram-check` model-check the no-drop /
+//! no-duplicate property under exhaustive interleaving exploration, which
+//! a hand-rolled lock-free deque would make intractable to get right.
+//!
+//! ## Safety argument (no drop, no duplicate)
+//!
+//! Ranges only ever move deque → deque (a steal) or deque → execution (a
+//! grab), always under a deque lock, and a grabbed range is always fully
+//! executed by its grabber. During a steal the batch exists only in the
+//! thief's stack frame between the two lock regions — a scanner that
+//! observes "all deques empty" at that instant exits early, which loses
+//! *balance* (the thief finishes the batch alone), never *indices*.
+//! Reuse across loops is barrier-separated by the caller
+//! ([`crate::WorkerCtx::for_each_nowait`]): no member repopulates until
+//! every member has stopped scanning the previous loop's deques.
+
+use std::collections::VecDeque;
+use std::ops::Range;
+
+use crossbeam_utils::CachePadded;
+use pram_core::sync as psync;
+use pram_core::ExecStats;
+
+use crate::schedule::static_block;
+
+/// One worker's deque, padded so neighbouring locks never share a line.
+type Deque = CachePadded<psync::Mutex<VecDeque<Range<usize>>>>;
+
+/// One locked chunk deque per worker (see module docs).
+pub struct StealQueues {
+    deques: Box<[Deque]>,
+}
+
+impl std::fmt::Debug for StealQueues {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StealQueues")
+            .field("workers", &self.deques.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl StealQueues {
+    /// Empty deques for a team of `workers` (≥ 1).
+    pub fn new(workers: usize) -> StealQueues {
+        assert!(workers >= 1, "a steal pool needs at least one worker");
+        let mut v = Vec::with_capacity(workers);
+        v.resize_with(workers, || {
+            CachePadded::new(psync::Mutex::new(VecDeque::new()))
+        });
+        StealQueues {
+            deques: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of per-worker deques.
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Seed worker `tid`'s deque with its blocked-static share of
+    /// `0..len`, split into ranges of at most `chunk` indices.
+    ///
+    /// Callers must separate `populate` from the previous loop's grabs
+    /// with a full rendezvous (see the module safety argument); under that
+    /// discipline the deque is always empty here.
+    pub fn populate(&self, tid: usize, len: usize, chunk: usize) {
+        let chunk = chunk.max(1);
+        let block = static_block(len, self.deques.len(), tid);
+        let mut dq = self.deques[tid].lock();
+        debug_assert!(dq.is_empty(), "populate without barrier separation");
+        let mut start = block.start;
+        while start < block.end {
+            let end = (start + chunk).min(block.end);
+            dq.push_back(start..end);
+            start = end;
+        }
+    }
+
+    /// Pop the front range of `tid`'s own deque — its statically owned
+    /// work, in ascending index order.
+    pub fn pop_own(&self, tid: usize) -> Option<Range<usize>> {
+        self.deques[tid].lock().pop_front()
+    }
+
+    /// Scan the other workers (round-robin from `tid + 1`) and steal the
+    /// back half of the first non-empty deque: one range is returned for
+    /// immediate execution, the rest are re-queued on `tid`'s own deque.
+    ///
+    /// Never holds two deque locks at once (victim is released before the
+    /// thief's own deque is taken), so steals cannot deadlock against each
+    /// other or against `populate`. Returns `None` only after a full scan
+    /// observed every victim empty — at which point the loop is done or
+    /// its tail is owned by members already executing it.
+    pub fn steal(&self, tid: usize, stats: Option<&ExecStats>) -> Option<Range<usize>> {
+        let n = self.deques.len();
+        for k in 1..n {
+            let victim = (tid + k) % n;
+            let mut batch: VecDeque<Range<usize>> = {
+                let mut dq = self.deques[victim].lock();
+                let len = dq.len();
+                if len == 0 {
+                    continue;
+                }
+                dq.split_off(len - len.div_ceil(2))
+            };
+            let first = batch.pop_front();
+            if !batch.is_empty() {
+                self.deques[tid].lock().extend(batch);
+            }
+            if let Some(st) = stats {
+                st.record_steal(tid, true);
+            }
+            return first;
+        }
+        if let Some(st) = stats {
+            st.record_steal(tid, false);
+        }
+        None
+    }
+
+    /// Next range for `tid` to execute: own deque first, then stealing.
+    #[inline]
+    pub fn next(&self, tid: usize, stats: Option<&ExecStats>) -> Option<Range<usize>> {
+        self.pop_own(tid).or_else(|| self.steal(tid, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(q: &StealQueues, tid: usize) -> Vec<Range<usize>> {
+        let mut out = vec![];
+        while let Some(r) = q.next(tid, None) {
+            out.push(r);
+        }
+        out
+    }
+
+    #[test]
+    fn populate_splits_static_block_into_chunks() {
+        let q = StealQueues::new(2);
+        q.populate(0, 10, 2); // block 0..5 -> [0..2, 2..4, 4..5]
+        q.populate(1, 10, 2); // block 5..10 -> [5..7, 7..9, 9..10]
+                              // Own block first; then a steal of victim's back half [7..9, 9..10]
+                              // (7..9 executed, 9..10 re-queued), then the victim's last range.
+        assert_eq!(drain_all(&q, 0), vec![0..2, 2..4, 4..5, 7..9, 9..10, 5..7]);
+    }
+
+    #[test]
+    fn own_pops_come_in_ascending_order() {
+        let q = StealQueues::new(3);
+        for t in 0..3 {
+            q.populate(t, 30, 4);
+        }
+        let mut last = None;
+        while let Some(r) = q.pop_own(1) {
+            if let Some(prev) = last {
+                assert!(r.start >= prev, "own order regressed");
+            }
+            last = Some(r.end);
+        }
+    }
+
+    #[test]
+    fn steal_takes_back_half_and_requeues_rest() {
+        let q = StealQueues::new(2);
+        q.populate(0, 8, 1); // worker 0 owns 0..4 as four unit ranges
+                             // Worker 1 owns 4..8 but has drained; steal from 0.
+        let got = q.steal(1, None).expect("victim non-empty");
+        // Back half of [0..1,1..2,2..3,3..4] is [2..3,3..4]; first returned.
+        assert_eq!(got, 2..3);
+        assert_eq!(q.pop_own(1), Some(3..4)); // re-queued remainder
+                                              // Victim keeps its front half.
+        assert_eq!(drain_all(&q, 0), vec![0..1, 1..2]);
+    }
+
+    #[test]
+    fn every_index_grabbed_exactly_once_across_workers() {
+        let q = StealQueues::new(4);
+        let len = 103;
+        for t in 0..4 {
+            q.populate(t, len, 3);
+        }
+        let mut seen = vec![0u32; len];
+        // Interleave grabs in an adversarial round-robin.
+        let mut live = true;
+        while live {
+            live = false;
+            for t in 0..4 {
+                if let Some(r) = q.next(t, None) {
+                    live = true;
+                    for i in r {
+                        seen[i] += 1;
+                    }
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "coverage: {seen:?}");
+    }
+
+    #[test]
+    fn steal_records_hits_and_misses() {
+        let q = StealQueues::new(2);
+        let stats = ExecStats::new(2);
+        q.populate(0, 4, 1);
+        assert!(q.steal(1, Some(&stats)).is_some());
+        while q.next(0, None).is_some() {}
+        while q.next(1, None).is_some() {}
+        assert!(q.steal(1, Some(&stats)).is_none());
+        let s = stats.worker_snapshot(1);
+        assert!(s.steal_attempts >= 2);
+        assert_eq!(s.steals, 1);
+    }
+
+    #[test]
+    fn single_worker_never_steals() {
+        let q = StealQueues::new(1);
+        q.populate(0, 5, 2);
+        assert_eq!(drain_all(&q, 0), vec![0..2, 2..4, 4..5]);
+        assert_eq!(q.steal(0, None), None);
+    }
+
+    #[test]
+    fn empty_range_populates_nothing() {
+        let q = StealQueues::new(2);
+        q.populate(0, 0, 4);
+        q.populate(1, 0, 4);
+        assert_eq!(q.next(0, None), None);
+        assert_eq!(q.next(1, None), None);
+    }
+}

@@ -14,6 +14,7 @@ fn arb_schedule() -> impl Strategy<Value = Schedule> {
         (1usize..9).prop_map(|c| Schedule::Static { chunk: Some(c) }),
         (1usize..9).prop_map(|c| Schedule::Dynamic { chunk: c }),
         (1usize..9).prop_map(|c| Schedule::Guided { min_chunk: c }),
+        (1usize..9).prop_map(|c| Schedule::Stealing { chunk: c }),
     ]
 }
 
@@ -106,6 +107,35 @@ proptest! {
         });
         for c in &counts {
             prop_assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn stealing_covers_skewed_work_exactly_once(
+        threads in 2usize..7,
+        len in 1usize..400,
+        chunk in 1usize..9,
+        skew_pow in 0u32..6,
+    ) {
+        // Body cost grows with the index (2^skew_pow spins at the top end),
+        // so the worker that seeded the tail runs dry last and everyone
+        // else must steal — coverage must still be exactly-once.
+        let pool = ThreadPool::new(threads);
+        let counts: Vec<AtomicU32> = (0..len).map(|_| AtomicU32::new(0)).collect();
+        pool.run(|ctx| {
+            ctx.for_each(0..len, Schedule::Stealing { chunk }, |i| {
+                let spins = (i * (1usize << skew_pow)) / len.max(1);
+                for _ in 0..spins {
+                    std::hint::spin_loop();
+                }
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        for (i, c) in counts.iter().enumerate() {
+            prop_assert_eq!(
+                c.load(Ordering::Relaxed), 1,
+                "index {} under stealing chunk {}", i, chunk
+            );
         }
     }
 
