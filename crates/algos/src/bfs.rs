@@ -307,6 +307,7 @@ fn bfs_dense<A: SliceArbiter>(g: &CsrGraph, source: u32, arb: &A, pool: &ThreadP
     let rounds = AtomicU32::new(0);
     pool.run(|ctx| {
         let c = ctx.converge_rounds(max_rounds, |round, flag| {
+            ctx.annotate_round("expand");
             let l = round.get() - 1; // the level being expanded
             ctx.for_each_nowait(0..n, Schedule::default(), |v| {
                 if st.level[v].load(Ordering::Relaxed) != l {
@@ -441,6 +442,7 @@ fn bfs_frontier<A: SliceArbiter>(
                 // arbitrates the four-word write (and is the sole frontier
                 // insertion point), though in pull form each target has a
                 // single prospective writer.
+                ctx.annotate_round("pull");
                 let rev = rev.expect("pull implies reverse view");
                 let cur = &bitmaps[bi];
                 let next = &bitmaps[1 - bi];
@@ -468,6 +470,7 @@ fn bfs_frontier<A: SliceArbiter>(
             } else {
                 // Top-down: expand the queue with degree-weighted chunks,
                 // staging discoveries in per-worker buffers.
+                ctx.annotate_round("push");
                 let cur = &queues[qi];
                 let next = &queues[1 - qi];
                 ctx.barrier_with(|| next.clear());

@@ -135,6 +135,7 @@ pub fn cc_with_arbiter<A: SliceArbiter>(g: &CsrGraph, arb: &A, pool: &ThreadPool
         };
 
         let c = ctx.converge_rounds(max_iters, |iter_round, flag| {
+            ctx.annotate_round("hook");
             let i = iter_round.get() - 1;
             // Two distinct CW rounds per iteration (one per hooking phase).
             let hook_rounds = [
@@ -276,6 +277,7 @@ pub fn cc_worklist_with_arbiter<A: SliceArbiter>(
         };
 
         let c = ctx.converge_rounds(max_iters, |iter_round, flag| {
+            ctx.annotate_round("hook");
             let i = iter_round.get() - 1;
             let hook_rounds = [
                 Round::from_iteration(2 * i),

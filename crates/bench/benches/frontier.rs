@@ -24,8 +24,8 @@ use std::path::PathBuf;
 
 use pram_algos::bfs::{bfs_with_strategy_rev, BfsStrategy, DIRECTION_ALPHA, DIRECTION_BETA};
 use pram_algos::{connected_components, connected_components_worklist, CwMethod};
-use pram_bench::{ms, time_median};
-use pram_exec::ThreadPool;
+use pram_bench::{ms, telemetry_columns, time_median};
+use pram_exec::{PoolConfig, ThreadPool};
 use pram_graph::{CsrGraph, GraphGen};
 
 /// The four single-winner methods the figure sweeps (CAS-LT-padded is an
@@ -120,6 +120,9 @@ fn main() {
 
     for &threads in &threads_list {
         let pool = ThreadPool::new(threads);
+        // Telemetry rides on a separate pool so the timed runs stay on the
+        // plain configuration; each row gets one untimed profiling run.
+        let profile_pool = ThreadPool::with_config(PoolConfig::new(threads).telemetry(true));
         for (w, rev) in workloads.iter().zip(&revs) {
             let g = &w.graph;
             let source = if w.name == "rmat18" { hub(g) } else { w.source };
@@ -142,10 +145,19 @@ fn main() {
                         "   bfs/{}/{method}/{strategy}/T={threads}: {t:.3} ms",
                         w.name
                     );
+                    std::hint::black_box(bfs_with_strategy_rev(
+                        g,
+                        rev,
+                        source,
+                        method,
+                        strategy,
+                        &profile_pool,
+                    ));
                     rows.push(format!(
                         "{{\"kernel\": \"bfs\", \"graph\": \"{}\", \"method\": \"{method}\", \
-                         \"strategy\": \"{strategy}\", \"threads\": {threads}, \"ms\": {t:.4}}}",
-                        w.name
+                         \"strategy\": \"{strategy}\", \"threads\": {threads}, \"ms\": {t:.4}, {}}}",
+                        w.name,
+                        telemetry_columns(&profile_pool)
                     ));
                     if method == CwMethod::CasLt {
                         caslt_ms.push((format!("{}/{strategy}/T={threads}", w.name), t));
@@ -169,9 +181,11 @@ fn main() {
                 });
                 let t = ms(t);
                 eprintln!("   cc/rmat18/{method}/{variant}/T={threads}: {t:.3} ms");
+                std::hint::black_box(run(g, method, &profile_pool));
                 rows.push(format!(
                     "{{\"kernel\": \"cc\", \"graph\": \"rmat18\", \"method\": \"{method}\", \
-                     \"strategy\": \"{variant}\", \"threads\": {threads}, \"ms\": {t:.4}}}"
+                     \"strategy\": \"{variant}\", \"threads\": {threads}, \"ms\": {t:.4}, {}}}",
+                    telemetry_columns(&profile_pool)
                 ));
             }
         }

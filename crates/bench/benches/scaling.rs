@@ -26,8 +26,9 @@ use std::path::PathBuf;
 
 use pram_algos::bfs::{bfs_with_strategy_rev, BfsStrategy};
 use pram_algos::CwMethod;
-use pram_bench::{ms, time_median};
-use pram_exec::{BarrierKind, PoolConfig, ScheduleKind, ThreadPool};
+use pram_bench::{ms, telemetry_columns, time_median};
+use pram_core::{CasLtArray, GatekeeperArray, SliceArbiter};
+use pram_exec::{BarrierKind, CwCounters, PoolConfig, RoundReport, ScheduleKind, ThreadPool};
 use pram_graph::{CsrGraph, GraphGen};
 
 fn env_usize(key: &str, default: usize) -> usize {
@@ -85,6 +86,102 @@ struct Workload {
     strategy: BfsStrategy,
 }
 
+/// Sum the claim-counter deltas over a drained report's rounds.
+fn sum_cw(report: &RoundReport) -> CwCounters {
+    let mut cw = CwCounters::default();
+    for r in &report.rounds {
+        cw.add(&r.cw);
+    }
+    cw
+}
+
+/// Fully contended microbench behind the "telemetry_mechanism" section:
+/// for each team size, every member claims every cell of a small array
+/// for a fixed number of rounds, under CAS-LT (re-arms free on the round
+/// advance) and under the gatekeeper (explicit reset pass per round).
+/// Returns one JSON row per (method, team size).
+fn mechanism_rows(threads_list: &[usize]) -> Vec<String> {
+    const CELLS: usize = 64;
+    const ROUNDS: u32 = 30;
+    let cell_rounds = (CELLS as u64) * u64::from(ROUNDS);
+    let mut out = Vec::new();
+    for &t in threads_list {
+        let pool = ThreadPool::with_config(PoolConfig::new(t).telemetry(true));
+
+        let caslt = CasLtArray::new(CELLS);
+        pool.run(|ctx| {
+            ctx.converge_rounds(ROUNDS, |round, flag| {
+                ctx.annotate_round("mech-caslt");
+                for i in 0..CELLS {
+                    caslt.try_claim(i, round);
+                }
+                if round.get() < ROUNDS {
+                    flag.set();
+                }
+            });
+        });
+        let cw = sum_cw(&pool.take_round_report());
+        assert_eq!(cw.wins, cell_rounds, "one CAS-LT winner per (cell, round)");
+        assert_eq!(
+            cw.resolutions(),
+            cell_rounds * t as u64,
+            "every claim resolved"
+        );
+        eprintln!(
+            "   mech/caslt/T={t}: fast-path hit rate {:.3}, cas retry rate {:.3}",
+            cw.fast_path_hit_rate(),
+            cw.cas_retry_rate()
+        );
+        out.push(format!(
+            "{{\"method\": \"caslt\", \"threads\": {t}, \"cells\": {CELLS}, \
+             \"rounds\": {ROUNDS}, \"fast_path_hit_rate\": {:.4}, \
+             \"cas_retry_rate\": {:.4}, \"atomics_per_cell_round\": {:.4}}}",
+            cw.fast_path_hit_rate(),
+            cw.cas_retry_rate(),
+            cw.cas_attempts as f64 / cell_rounds as f64
+        ));
+
+        let gate = GatekeeperArray::new(CELLS);
+        pool.run(|ctx| {
+            ctx.converge_rounds(ROUNDS, |round, flag| {
+                ctx.annotate_round("mech-gatekeeper");
+                for i in 0..CELLS {
+                    gate.try_claim(i, round);
+                }
+                // Parallel re-arm pass: disjoint shares after a barrier.
+                ctx.barrier();
+                let (id, n) = (ctx.thread_id(), ctx.num_threads());
+                gate.reset_range(id * CELLS / n..(id + 1) * CELLS / n);
+                if round.get() < ROUNDS {
+                    flag.set();
+                }
+            });
+        });
+        let cw = sum_cw(&pool.take_round_report());
+        assert_eq!(
+            cw.gatekeeper_rmws,
+            cell_rounds * t as u64,
+            "the gatekeeper fetch-adds exactly T times per (cell, round)"
+        );
+        assert_eq!(cw.wins, cell_rounds);
+        eprintln!(
+            "   mech/gatekeeper/T={t}: {} rmws ({} per cell-round), fast-path hit rate {:.3}",
+            cw.gatekeeper_rmws,
+            t,
+            cw.fast_path_hit_rate()
+        );
+        out.push(format!(
+            "{{\"method\": \"gatekeeper\", \"threads\": {t}, \"cells\": {CELLS}, \
+             \"rounds\": {ROUNDS}, \"fast_path_hit_rate\": {:.4}, \
+             \"cas_retry_rate\": {:.4}, \"atomics_per_cell_round\": {:.4}}}",
+            cw.fast_path_hit_rate(),
+            cw.cas_retry_rate(),
+            cw.gatekeeper_rmws as f64 / cell_rounds as f64
+        ));
+    }
+    out
+}
+
 struct Row {
     graph: &'static str,
     strategy: BfsStrategy,
@@ -92,6 +189,8 @@ struct Row {
     schedule: ScheduleKind,
     threads: usize,
     ms: f64,
+    /// Pre-rendered telemetry rate columns from the untimed profiling run.
+    telem: String,
 }
 
 fn main() {
@@ -171,6 +270,22 @@ fn main() {
                         barrier_name(barrier),
                         schedule_name(schedule)
                     );
+                    // One untimed profiling run on a telemetry twin of the
+                    // same configuration supplies the rate columns.
+                    let profile_pool = ThreadPool::with_config(
+                        PoolConfig::new(t)
+                            .barrier(barrier)
+                            .irregular(schedule)
+                            .telemetry(true),
+                    );
+                    std::hint::black_box(bfs_with_strategy_rev(
+                        g,
+                        &rev,
+                        source,
+                        method,
+                        w.strategy,
+                        &profile_pool,
+                    ));
                     rows.push(Row {
                         graph: w.name,
                         strategy: w.strategy,
@@ -178,6 +293,7 @@ fn main() {
                         schedule,
                         threads: t,
                         ms: t_ms,
+                        telem: telemetry_columns(&profile_pool),
                     });
                 }
             }
@@ -213,14 +329,15 @@ fn main() {
             format!(
                 "{{\"kernel\": \"bfs\", \"graph\": \"{}\", \"method\": \"{method}\", \
                  \"strategy\": \"{}\", \"barrier\": \"{}\", \"schedule\": \"{}\", \
-                 \"threads\": {}, \"ms\": {:.4}, \"speedup_self_rel\": {:.4}}}",
+                 \"threads\": {}, \"ms\": {:.4}, \"speedup_self_rel\": {:.4}, {}}}",
                 r.graph,
                 r.strategy,
                 barrier_name(r.barrier),
                 schedule_name(r.schedule),
                 r.threads,
                 r.ms,
-                speedup
+                speedup,
+                r.telem
             )
         })
         .collect();
@@ -259,6 +376,76 @@ fn main() {
         ));
     }
 
+    // ---------------------------------------------------- mechanism sweep
+    // The paper's mechanism claim, measured rather than asserted: on a
+    // fully contended array (every member claims every cell, every round)
+    // CAS-LT's read-only fast path absorbs a growing share of claims as
+    // the team grows, while the gatekeeper issues exactly T fetch-adds per
+    // (cell, round) at every team size.
+    let mechanism = mechanism_rows(&threads_list);
+
+    // ---------------------------------------------------- overhead guard
+    // Smoke guard: enabled telemetry must stay within 5% of the plain
+    // configuration on the rmat18 direction-optimizing BFS at the largest
+    // team (with a small absolute floor so quick-scale noise cannot trip
+    // it). Interleaved samples, medians compared.
+    let overhead_json = {
+        let g = &workloads[0].graph;
+        let rev = g.reverse();
+        let source = hub(g);
+        let off_pool = ThreadPool::new(max_t);
+        let on_pool = ThreadPool::with_config(PoolConfig::new(max_t).telemetry(true));
+        let run_bfs = |pool: &ThreadPool| {
+            std::hint::black_box(bfs_with_strategy_rev(
+                g,
+                &rev,
+                source,
+                method,
+                BfsStrategy::DirectionOptimizing,
+                pool,
+            ));
+        };
+        run_bfs(&off_pool); // warm-up both pools
+        run_bfs(&on_pool);
+        let guard_reps = reps.max(5);
+        let mut off_s = Vec::with_capacity(guard_reps);
+        let mut on_s = Vec::with_capacity(guard_reps);
+        for _ in 0..guard_reps {
+            let t0 = std::time::Instant::now();
+            run_bfs(&off_pool);
+            off_s.push(t0.elapsed());
+            let t0 = std::time::Instant::now();
+            run_bfs(&on_pool);
+            on_s.push(t0.elapsed());
+        }
+        let _ = on_pool.take_round_report(); // drop the profiled rounds
+        off_s.sort_unstable();
+        on_s.sort_unstable();
+        let off_ms = ms(off_s[off_s.len() / 2]);
+        let on_ms = ms(on_s[on_s.len() / 2]);
+        let overhead = (on_ms - off_ms) / off_ms;
+        eprintln!(
+            "telemetry overhead @ rmat18/direction-optimizing/T={max_t}: \
+             off {off_ms:.3} ms, on {on_ms:.3} ms ({:+.1}%)",
+            overhead * 100.0
+        );
+        if std::env::var_os("PRAM_BENCH_SKIP_OVERHEAD_GUARD").is_none() {
+            assert!(
+                on_ms <= off_ms * 1.05 || on_ms - off_ms <= 2.0,
+                "telemetry overhead guard tripped: enabled {on_ms:.3} ms vs disabled \
+                 {off_ms:.3} ms ({:+.1}%, limit 5%); set PRAM_BENCH_SKIP_OVERHEAD_GUARD=1 \
+                 to bypass on a known-noisy machine",
+                overhead * 100.0
+            );
+        }
+        format!(
+            "{{\"graph\": \"rmat18\", \"strategy\": \"direction-optimizing\", \
+             \"threads\": {max_t}, \"reps\": {guard_reps}, \"disabled_ms\": {off_ms:.4}, \
+             \"enabled_ms\": {on_ms:.4}, \"overhead_frac\": {overhead:.4}, \
+             \"guard_limit_frac\": 0.05}}"
+        )
+    };
+
     let out_dir = std::env::var("PRAM_BENCH_OUT").map_or_else(
         |_| {
             // benches run with CWD = crate root (crates/bench); the JSON
@@ -288,11 +475,15 @@ fn main() {
          \"threads_swept\": [{}],\n  \"machine_parallelism\": {ncpus},\n  \
          \"reps\": {reps},\n  \"quick\": {quick},\n  \"method\": \"{method}\",\n  \
          \"graphs\": [\n    {}\n  ],\n  \"results\": [\n    {}\n  ],\n  \
-         \"comparisons\": [\n    {}\n  ]\n}}\n",
+         \"comparisons\": [\n    {}\n  ],\n  \
+         \"telemetry_mechanism\": [\n    {}\n  ],\n  \
+         \"telemetry_overhead\": {}\n}}\n",
         threads_json.join(", "),
         graphs.join(",\n    "),
         json_rows.join(",\n    "),
-        comparisons.join(",\n    ")
+        comparisons.join(",\n    "),
+        mechanism.join(",\n    "),
+        overhead_json
     );
     let mut f = std::fs::File::create(&path).expect("create BENCH_scaling.json");
     f.write_all(json.as_bytes())

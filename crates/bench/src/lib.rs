@@ -238,6 +238,30 @@ pub fn pool(threads: usize) -> ThreadPool {
     ThreadPool::new(threads)
 }
 
+/// Drain `pool`'s telemetry round report and render the three derived-rate
+/// columns every bench row shares (`fast_path_hit_rate`, `cas_retry_rate`,
+/// `steal_ratio`) as a JSON fragment. The pool must have been built with
+/// [`pram_exec::PoolConfig::telemetry`]; call right after the *untimed*
+/// profiling run. The rates are computed over the drained per-round
+/// deltas (not the pool-lifetime totals), so one telemetry pool can be
+/// reused across many profiled runs without the windows blending.
+pub fn telemetry_columns(pool: &ThreadPool) -> String {
+    use pram_exec::{CwCounters, ExecCounters};
+    let report = pool.take_round_report();
+    let mut cw = CwCounters::default();
+    let mut exec = ExecCounters::default();
+    for r in &report.rounds {
+        cw.add(&r.cw);
+        exec.add(&r.exec);
+    }
+    format!(
+        "\"fast_path_hit_rate\": {:.4}, \"cas_retry_rate\": {:.4}, \"steal_ratio\": {:.4}",
+        cw.fast_path_hit_rate(),
+        cw.cas_retry_rate(),
+        exec.steal_ratio()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,6 +22,13 @@
 //!   the range it returns — a thief that steals more than one chunk loses
 //!   work. Schedules where every steal moves a single chunk (including
 //!   all single-threaded ones) behave perfectly.
+//! * [`CountingClaimCell`] is a gatekeeper whose claim **consults a
+//!   counter read** instead of the atomic capture: it loads the counter,
+//!   treats `0` as the win condition, and stores the increment separately.
+//!   Telemetry counters are exactly this shape (a read-modify-write next
+//!   to the claim), which is why the passivity tests exist: instrumenting
+//!   an arbiter must never let counter state *feed back* into the claim
+//!   decision the way this cell's does.
 //!
 //! All of these route their shared state through `pram_core::sync`, so
 //! under `--cfg pram_check` every racy load and store is a scheduling
@@ -111,6 +118,78 @@ impl SliceArbiter for BuggyCasLtArray {
     }
     fn rearms_on_new_round(&self) -> bool {
         true
+    }
+}
+
+/// A gatekeeper whose claim decision rides on a counter *read* (see
+/// module docs): load, compare with 0, store the increment — the atomic
+/// capture decomposed into a check-then-act pair.
+///
+/// Sequentially indistinguishable from [`pram_core::GatekeeperCell`]
+/// (the unit tests below pin that); under concurrency, any schedule that
+/// interleaves two claims between their loads and stores elects two
+/// winners — and also *loses* increments, so the counter undercounts the
+/// claim multiplicity (the conservation invariant telemetry tests rely
+/// on).
+#[derive(Debug, Default)]
+pub struct CountingClaimCell {
+    count: AtomicU32,
+}
+
+impl CountingClaimCell {
+    /// A zeroed (armed) cell.
+    pub const fn new() -> CountingClaimCell {
+        CountingClaimCell {
+            count: AtomicU32::new(0),
+        }
+    }
+
+    /// Claim — **racy**: the winner check reads the counter instead of
+    /// capturing it atomically.
+    #[inline]
+    pub fn try_claim_once(&self) -> bool {
+        // BUG (intentional): a real gatekeeper performs one atomic
+        // fetch_add and decides on the captured value; reading first lets
+        // every thread that observed 0 win, and the separate stores drop
+        // concurrent increments.
+        let c = self.count.load(Ordering::Relaxed);
+        self.count.store(c + 1, Ordering::Relaxed);
+        c == 0
+    }
+
+    /// Claim count observed so far (undercounts under the seeded race).
+    pub fn count(&self) -> u32 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Re-arm (exclusive access).
+    pub fn reset(&mut self) {
+        *self.count.get_mut() = 0;
+    }
+}
+
+/// Single-cell [`SliceArbiter`] view so the broken scheme drives the same
+/// generic models as the real arbiters (claims target cell 0; the round
+/// is ignored, as for every gatekeeper).
+impl SliceArbiter for CountingClaimCell {
+    fn len(&self) -> usize {
+        1
+    }
+    #[inline]
+    fn try_claim(&self, index: usize, _round: Round) -> bool {
+        assert_eq!(index, 0, "CountingClaimCell arbitrates a single target");
+        self.try_claim_once()
+    }
+    fn reset_all(&self) {
+        self.count.store(0, Ordering::Relaxed);
+    }
+    fn reset_range(&self, range: Range<usize>) {
+        if range.contains(&0) {
+            self.count.store(0, Ordering::Relaxed);
+        }
+    }
+    fn rearms_on_new_round(&self) -> bool {
+        false
     }
 }
 
@@ -323,6 +402,42 @@ mod tests {
             rest.push(r);
         }
         assert_eq!(rest, vec![0..1, 1..2], "dropped range resurfaced");
+    }
+
+    #[test]
+    fn counting_cell_sequentially_indistinguishable_from_gatekeeper() {
+        let buggy = CountingClaimCell::new();
+        let real = pram_core::GatekeeperCell::new();
+        for _ in 0..5 {
+            assert_eq!(buggy.try_claim_once(), real.try_claim_once());
+        }
+        assert_eq!(buggy.count(), real.count());
+        let (mut buggy, mut real) = (buggy, real);
+        buggy.reset();
+        real.reset();
+        assert_eq!(buggy.try_claim_once(), real.try_claim_once());
+    }
+
+    #[test]
+    fn counting_cell_slice_arbiter_contract() {
+        let c = CountingClaimCell::new();
+        assert_eq!(SliceArbiter::len(&c), 1);
+        assert!(SliceArbiter::try_claim(&c, 0, Round::FIRST));
+        assert!(!SliceArbiter::try_claim(&c, 0, Round::FIRST));
+        // Gatekeeper semantics: a new round does not re-arm.
+        assert!(!SliceArbiter::try_claim(&c, 0, Round::from_iteration(1)));
+        assert!(!c.rearms_on_new_round());
+        c.reset_range(0..1);
+        assert!(SliceArbiter::try_claim(&c, 0, Round::FIRST));
+        c.reset_all();
+        assert!(SliceArbiter::try_claim(&c, 0, Round::FIRST));
+    }
+
+    #[test]
+    #[should_panic(expected = "single target")]
+    fn counting_cell_rejects_other_indices() {
+        let c = CountingClaimCell::new();
+        SliceArbiter::try_claim(&c, 1, Round::FIRST);
     }
 
     #[test]

@@ -39,9 +39,9 @@
 //! episode-reuse / broadcast-visibility contract, and the work-stealing
 //! loop's no-drop / no-duplicate coverage), and [`buggy`] provides
 //! deliberately broken implementations — a check-then-act CAS-LT, a
-//! dissemination barrier one signal round short, a stealer that drops part
-//! of its stolen batch — that the checker must *catch*, pinning its own
-//! sensitivity.
+//! gatekeeper that decides on a counter *read*, a dissemination barrier
+//! one signal round short, a stealer that drops part of its stolen batch
+//! — that the checker must *catch*, pinning its own sensitivity.
 //!
 //! The schedule policies ([`schedule`]) and the buggy arbiters compile and
 //! unit-test in every build; only the executor/explorer/models need the
@@ -66,7 +66,9 @@ pub mod models;
 #[cfg(pram_check)]
 pub mod sync_models;
 
-pub use buggy::{BuggyCasLtArray, BuggyCasLtCell, DroppingStealer, EarlyReleaseBarrier};
+pub use buggy::{
+    BuggyCasLtArray, BuggyCasLtCell, CountingClaimCell, DroppingStealer, EarlyReleaseBarrier,
+};
 pub use schedule::{Chooser, DfsChooser, FixedChooser, PctChooser, RandomChooser};
 
 #[cfg(pram_check)]
@@ -77,6 +79,6 @@ pub use explore::{
     Violation,
 };
 #[cfg(pram_check)]
-pub use models::Model;
+pub use models::{Model, TelemetryPassive};
 #[cfg(pram_check)]
 pub use sync_models::{BarrierLockstep, ModelBarrier, ModelStealSource, StealCoverage};

@@ -14,10 +14,12 @@
 //! already contains every two-thread race plus a third-party observer.
 
 use std::cell::UnsafeCell;
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 
 use pram_core::sync::RegionGuard;
-use pram_core::{ConCell, PriorityCell, Round, SliceArbiter};
+use pram_core::{CasLtArray, ConCell, CwTelemetry, PriorityCell, Round, ShardGuard, SliceArbiter};
 
 use crate::buggy::BuggyCasLtCell;
 
@@ -357,6 +359,105 @@ impl Model for BuggyPayloadWrite {
     }
     fn check_final(&self) -> Result<(), String> {
         Ok(()) // the property under test is the executor's region check
+    }
+}
+
+/// Telemetry passivity: the same single-cell CAS-LT race as
+/// [`SingleRoundWinner`], run either **with** each thread's claim
+/// telemetry recorded into a [`CwTelemetry`] shard or **without** any
+/// recording installed.
+///
+/// Instrumentation must be *passive*: it may add scheduling points (each
+/// counter increment is one under the shim), but it must never change an
+/// arbitration outcome. `tests/check_telemetry.rs` explores both variants
+/// exhaustively and asserts the reachable winner sets are identical —
+/// which is exactly the property the seeded
+/// [`crate::buggy::CountingClaimCell`] violates, since its "counter"
+/// feeds back into the claim decision.
+///
+/// Each execution also records its winner into a shared `outcomes` set
+/// (plain `std` sync — sequential glue, never a scheduling point), and
+/// the counters-on variant asserts per-execution counter conservation
+/// under lockstep: every claim resolves (`fast_path_skips + cas_attempts
+/// == threads`) and exactly one wins.
+pub struct TelemetryPassive {
+    arb: CasLtArray,
+    telem: Option<CwTelemetry>,
+    round: Round,
+    wins: Vec<AtomicBool>,
+    outcomes: Arc<Mutex<BTreeSet<usize>>>,
+}
+
+impl TelemetryPassive {
+    /// `threads` claimants; `counters_on` selects the instrumented
+    /// variant. Winners accumulate into `outcomes` across executions.
+    pub fn new(
+        threads: usize,
+        round: Round,
+        counters_on: bool,
+        outcomes: Arc<Mutex<BTreeSet<usize>>>,
+    ) -> TelemetryPassive {
+        let mut wins = Vec::with_capacity(threads);
+        wins.resize_with(threads, || AtomicBool::new(false));
+        TelemetryPassive {
+            arb: CasLtArray::new(1),
+            telem: counters_on.then(|| CwTelemetry::new(threads)),
+            round,
+            wins,
+            outcomes,
+        }
+    }
+}
+
+impl Model for TelemetryPassive {
+    fn name(&self) -> &str {
+        if self.telem.is_some() {
+            "telemetry-passive-counters-on"
+        } else {
+            "telemetry-passive-counters-off"
+        }
+    }
+    fn threads(&self) -> usize {
+        self.wins.len()
+    }
+    fn run(&self, _phase: usize, tid: usize) {
+        let _guard = self
+            .telem
+            .as_ref()
+            .map(|t| ShardGuard::install(t.shard(tid)));
+        if self.arb.try_claim(0, self.round) {
+            self.wins[tid].store(true, Ordering::Relaxed);
+        }
+    }
+    fn check_final(&self) -> Result<(), String> {
+        let w = winners(&self.wins);
+        if w.len() != 1 {
+            return Err(format!(
+                "expected exactly one winner, got {}: threads {w:?}",
+                w.len()
+            ));
+        }
+        if let Some(t) = &self.telem {
+            let c = t.totals();
+            let threads = self.wins.len() as u64;
+            if c.fast_path_skips + c.cas_attempts != threads {
+                return Err(format!(
+                    "counter conservation: fast_path_skips ({}) + cas_attempts ({}) != {threads} claims",
+                    c.fast_path_skips, c.cas_attempts
+                ));
+            }
+            if c.wins != 1 {
+                return Err(format!("counted {} wins, arbitration produced 1", c.wins));
+            }
+            if c.cas_failures != c.cas_attempts - c.wins {
+                return Err(format!(
+                    "cas_failures ({}) != cas_attempts ({}) - wins ({})",
+                    c.cas_failures, c.cas_attempts, c.wins
+                ));
+            }
+        }
+        self.outcomes.lock().unwrap().insert(w[0]);
+        Ok(())
     }
 }
 

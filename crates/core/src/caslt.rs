@@ -79,6 +79,7 @@ impl CasLtCell {
         // crate::ordering).
         let current = self.last_round_updated.load(Ordering::Relaxed);
         if current >= round.get() {
+            crate::telemetry::record_fast_skip();
             return false;
         }
         // Slow path: compete. Exactly one CAS from `current` (or any other
@@ -93,9 +94,17 @@ impl CasLtCell {
         // edge (the same argument as the fast path's `Relaxed` load; see
         // crate::ordering). An `Acquire` failure ordering would order
         // against a value nobody looks at.
-        self.last_round_updated
+        crate::telemetry::record_cas_attempt();
+        let won = self
+            .last_round_updated
             .compare_exchange(current, round.get(), Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok()
+            .is_ok();
+        if won {
+            crate::telemetry::record_win();
+        } else {
+            crate::telemetry::record_cas_failure();
+        }
+        won
     }
 
     /// The last round this cell was claimed in, or `None` if never/reset.
@@ -176,13 +185,22 @@ impl CasLtCell64 {
         debug_assert!(round != 0, "round 0 is the never-claimed sentinel");
         let current = self.last_round_updated.load(Ordering::Relaxed);
         if current >= round {
+            crate::telemetry::record_fast_skip();
             return false;
         }
         // Relaxed failure ordering for the same reason as
         // [`CasLtCell::try_claim`]: the failure value is discarded.
-        self.last_round_updated
+        crate::telemetry::record_cas_attempt();
+        let won = self
+            .last_round_updated
             .compare_exchange(current, round, Ordering::AcqRel, Ordering::Relaxed)
-            .is_ok()
+            .is_ok();
+        if won {
+            crate::telemetry::record_win();
+        } else {
+            crate::telemetry::record_cas_failure();
+        }
+        won
     }
 
     /// The last 64-bit round this cell was claimed in (0 = never).
@@ -283,11 +301,14 @@ impl SliceArbiter for CasLtArray {
         for c in self.cells.iter() {
             c.reset_shared();
         }
+        crate::telemetry::record_rearm_resets(self.cells.len() as u64);
     }
     fn reset_range(&self, range: Range<usize>) {
-        for c in &self.cells[range] {
+        let cells = &self.cells[range];
+        for c in cells {
             c.reset_shared();
         }
+        crate::telemetry::record_rearm_resets(cells.len() as u64);
     }
     fn rearms_on_new_round(&self) -> bool {
         true
@@ -355,11 +376,14 @@ impl SliceArbiter for PaddedCasLtArray {
         for c in self.cells.iter() {
             c.reset_shared();
         }
+        crate::telemetry::record_rearm_resets(self.cells.len() as u64);
     }
     fn reset_range(&self, range: Range<usize>) {
-        for c in &self.cells[range] {
+        let cells = &self.cells[range];
+        for c in cells {
             c.reset_shared();
         }
+        crate::telemetry::record_rearm_resets(cells.len() as u64);
     }
     fn rearms_on_new_round(&self) -> bool {
         true
@@ -411,17 +435,27 @@ impl SliceArbiter for AlwaysRmwCasLtArray {
     #[inline]
     fn try_claim(&self, index: usize, round: Round) -> bool {
         // Unconditional RMW: the ablated fast path.
-        self.cells[index].fetch_max(round.get(), Ordering::AcqRel) < round.get()
+        crate::telemetry::record_cas_attempt();
+        let won = self.cells[index].fetch_max(round.get(), Ordering::AcqRel) < round.get();
+        if won {
+            crate::telemetry::record_win();
+        } else {
+            crate::telemetry::record_cas_failure();
+        }
+        won
     }
     fn reset_all(&self) {
         for c in self.cells.iter() {
             c.store(0, Ordering::Relaxed);
         }
+        crate::telemetry::record_rearm_resets(self.cells.len() as u64);
     }
     fn reset_range(&self, range: Range<usize>) {
-        for c in &self.cells[range] {
+        let cells = &self.cells[range];
+        for c in cells {
             c.store(0, Ordering::Relaxed);
         }
+        crate::telemetry::record_rearm_resets(cells.len() as u64);
     }
     fn rearms_on_new_round(&self) -> bool {
         true
@@ -476,11 +510,14 @@ impl SliceArbiter for CasLtArray64 {
         for c in self.cells.iter() {
             c.last_round_updated.store(0, Ordering::Relaxed);
         }
+        crate::telemetry::record_rearm_resets(self.cells.len() as u64);
     }
     fn reset_range(&self, range: Range<usize>) {
-        for c in &self.cells[range] {
+        let cells = &self.cells[range];
+        for c in cells {
             c.last_round_updated.store(0, Ordering::Relaxed);
         }
+        crate::telemetry::record_rearm_resets(cells.len() as u64);
     }
     fn rearms_on_new_round(&self) -> bool {
         true

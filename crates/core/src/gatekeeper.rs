@@ -71,11 +71,15 @@ impl GatekeeperCell {
     /// the invariant in test builds.
     #[inline]
     pub fn try_claim_once(&self) -> bool {
+        crate::telemetry::record_gatekeeper_rmw();
         let prev = self.gatekeeper.fetch_add(1, Ordering::AcqRel);
         debug_assert!(
             prev != u32::MAX,
             "gatekeeper wrapped: reset discipline violated"
         );
+        if prev == 0 {
+            crate::telemetry::record_win();
+        }
         prev == 0
     }
 
@@ -139,6 +143,7 @@ impl GatekeeperSkipCell {
     #[inline]
     pub fn try_claim_once(&self) -> bool {
         if self.inner.gatekeeper.load(Ordering::Relaxed) != 0 {
+            crate::telemetry::record_fast_skip();
             return false;
         }
         self.inner.try_claim_once()
@@ -230,11 +235,14 @@ macro_rules! gatekeeper_array {
                 for c in self.cells.iter() {
                     c.reset_shared();
                 }
+                crate::telemetry::record_rearm_resets(self.cells.len() as u64);
             }
             fn reset_range(&self, range: Range<usize>) {
-                for c in &self.cells[range] {
+                let cells = &self.cells[range];
+                for c in cells {
                     c.reset_shared();
                 }
+                crate::telemetry::record_rearm_resets(cells.len() as u64);
             }
             fn rearms_on_new_round(&self) -> bool {
                 false

@@ -90,6 +90,7 @@ pub mod priority;
 pub mod round;
 pub mod stats;
 pub mod sync;
+pub mod telemetry;
 pub mod traits;
 
 pub use bitmap::{AtomicBitmap, BitGatekeeperArray};
@@ -103,4 +104,7 @@ pub use payload::{ConCell, ConVec};
 pub use priority::{PriorityArray, PriorityCell};
 pub use round::{Round, RoundCounter, RoundOverflow};
 pub use stats::{CountingArbiter, CwStats, CwStatsSnapshot, ExecStats, ExecWorkerSnapshot};
+pub use telemetry::{
+    CwCounters, CwTelemetry, ExecCounters, RoundReport, RoundSnapshot, ShardGuard, TelemetryShard,
+};
 pub use traits::{try_claim_all, Arbiter, SliceArbiter};

@@ -40,11 +40,13 @@ impl LockCell {
     /// (single winner per round, free re-arming on round advance), but the
     /// losers serialize through the critical section instead of skipping.
     pub fn try_claim(&self, round: Round) -> bool {
+        crate::telemetry::record_lock_acquisition();
         let mut last = self.last_round_updated.lock();
         if *last >= round.get() {
             false
         } else {
             *last = round.get();
+            crate::telemetry::record_win();
             true
         }
     }
@@ -118,11 +120,14 @@ impl SliceArbiter for LockArray {
         for c in self.cells.iter() {
             c.reset_shared();
         }
+        crate::telemetry::record_rearm_resets(self.cells.len() as u64);
     }
     fn reset_range(&self, range: Range<usize>) {
-        for c in &self.cells[range] {
+        let cells = &self.cells[range];
+        for c in cells {
             c.reset_shared();
         }
+        crate::telemetry::record_rearm_resets(cells.len() as u64);
     }
     fn rearms_on_new_round(&self) -> bool {
         true

@@ -73,6 +73,7 @@ impl SliceArbiter for NaiveArbiter {
             "index {index} out of bounds ({})",
             self.len
         );
+        crate::telemetry::record_win();
         true
     }
     fn reset_all(&self) {}
@@ -89,6 +90,7 @@ pub struct NaiveCell;
 impl Arbiter for NaiveCell {
     #[inline]
     fn try_claim(&self, _round: Round) -> bool {
+        crate::telemetry::record_win();
         true
     }
     fn reset(&mut self) {}

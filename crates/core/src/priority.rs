@@ -87,16 +87,24 @@ impl PriorityCell {
             let beats = cur_round < round.get() || (cur_round == round.get() && prio < cur_prio);
             if !beats {
                 // Stale round, or an equal-or-better offer already present.
+                crate::telemetry::record_fast_skip();
                 return false;
             }
+            crate::telemetry::record_cas_attempt();
             match self.state.compare_exchange_weak(
                 cur,
                 pack(round.get(), prio),
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return true,
-                Err(actual) => cur = actual,
+                Ok(_) => {
+                    crate::telemetry::record_win();
+                    return true;
+                }
+                Err(actual) => {
+                    crate::telemetry::record_cas_failure();
+                    cur = actual;
+                }
             }
         }
     }
@@ -181,9 +189,11 @@ impl PriorityArray {
 
     /// Reset targets in `range` via shared access (between rounds only).
     pub fn reset_range(&self, range: Range<usize>) {
-        for c in &self.cells[range] {
+        let cells = &self.cells[range];
+        for c in cells {
             c.reset_shared();
         }
+        crate::telemetry::record_rearm_resets(cells.len() as u64);
     }
 }
 

@@ -1,0 +1,1275 @@
+//! Per-round arbitration telemetry: sharded counters, round snapshots,
+//! and exporters.
+//!
+//! The paper's performance argument is mechanistic — CAS-LT wins because
+//! most competitors take a contention-free read-only fast path and skip
+//! both the atomic and the write, while the gatekeeper funnels *every*
+//! claim through an RMW. [`crate::stats`] made that observable for
+//! explicitly instrumented call sites; this module makes it observable for
+//! the real kernels, per round, with zero cost when disabled:
+//!
+//! * **Recording** ([`CwTelemetry`] / [`TelemetryShard`] / [`ShardGuard`]):
+//!   one cache-padded shard of counters per worker. A worker installs its
+//!   shard into thread-local storage with a [`ShardGuard`]; the arbiters'
+//!   claim paths call the `record_*` hooks in this module, which increment
+//!   the installed shard with `Relaxed` adds (and are no-ops when no shard
+//!   is installed). The counter atomics are routed through
+//!   [`crate::sync`], so under `--cfg pram_check` the checker can verify
+//!   the instrumentation is *passive* — recording never changes
+//!   arbitration outcomes.
+//! * **Snapshots** ([`RoundSnapshot`] / [`RoundReport`]): the execution
+//!   substrate collects per-round counter deltas at barrier boundaries
+//!   (where the team is quiescent, so deltas are exact) and merges them
+//!   with the substrate's own [`crate::ExecStats`] counters.
+//! * **Exporters**: [`RoundReport::metrics_json`] (a stable-schema JSON
+//!   dump with derived rates, consumed by the bench tier and parseable
+//!   back via [`RoundReport::from_metrics_json`]) and
+//!   [`RoundReport::chrome_trace`] (a `chrome://tracing` /
+//!   [Perfetto](https://ui.perfetto.dev) span export of epochs, rounds,
+//!   and barrier waits). Both serialize only timestamps recorded earlier
+//!   by the collector — no clock is read during export, so output is a
+//!   pure function of the report.
+//!
+//! With the `telemetry` cargo feature **disabled**, the recording types
+//! are zero-sized and every `record_*` hook is an empty `#[inline(always)]`
+//! function: the arbitration hot path compiles to the exact status quo
+//! (no added atomics, no TLS access, unchanged cell layout — asserted by
+//! `tests/telemetry_conservation.rs`). The report/exporter types remain
+//! available so downstream code compiles identically either way.
+
+use std::fmt;
+
+use crate::stats::ExecWorkerSnapshot;
+
+// ---------------------------------------------------------------------------
+// Counter value types (always compiled; plain data, no atomics)
+// ---------------------------------------------------------------------------
+
+/// Concurrent-write claim counters, as plain values.
+///
+/// One instance describes either a point-in-time snapshot (a sum over
+/// shards) or a delta between two snapshots. Which fields are populated
+/// depends on the method: CAS-LT uses `fast_path_skips` / `cas_attempts` /
+/// `cas_failures` / `wins` / `rearm_resets`; gatekeeper uses
+/// `gatekeeper_rmws` (+ `fast_path_skips` for the skip variant) and
+/// `rearm_resets`; lock uses `lock_acquisitions`; priority uses the CAS
+/// family (each successful improvement CAS counts as a win); naive counts
+/// only `wins`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CwCounters {
+    /// Claims resolved by a read-only fast path (CAS-LT's pre-CAS load,
+    /// the gatekeeper-skip pre-RMW load, priority's beats check): the
+    /// atomic and the write were both skipped.
+    pub fast_path_skips: u64,
+    /// Compare-and-swap instructions issued (CAS-LT slow path, priority
+    /// offer loop).
+    pub cas_attempts: u64,
+    /// CAS instructions that failed (another competitor moved the word).
+    pub cas_failures: u64,
+    /// Claims that returned `true` — for single-winner methods, exactly
+    /// one per (cell, round).
+    pub wins: u64,
+    /// Gatekeeper fetch-and-increment instructions issued.
+    pub gatekeeper_rmws: u64,
+    /// Lock acquisitions on the critical-section baseline's claim path.
+    pub lock_acquisitions: u64,
+    /// Cells re-zeroed by explicit `reset_all` / `reset_range` passes
+    /// (the re-arm cost CAS-LT's round advance avoids).
+    pub rearm_resets: u64,
+}
+
+impl CwCounters {
+    /// Claim calls that were *resolved* — by a fast-path skip or by
+    /// issuing the method's atomic/lock (the denominator of
+    /// [`CwCounters::fast_path_hit_rate`]). For CAS-LT this equals the
+    /// number of `try_claim` calls.
+    pub fn resolutions(&self) -> u64 {
+        self.fast_path_skips + self.cas_attempts + self.gatekeeper_rmws + self.lock_acquisitions
+    }
+
+    /// Fraction of claim resolutions that took the read-only fast path,
+    /// in `[0, 1]` (0.0 when nothing was recorded). The paper's headline
+    /// mechanism metric: rises with contention for CAS-LT, identically
+    /// zero for the plain gatekeeper.
+    pub fn fast_path_hit_rate(&self) -> f64 {
+        let total = self.resolutions();
+        if total == 0 {
+            0.0
+        } else {
+            self.fast_path_skips as f64 / total as f64
+        }
+    }
+
+    /// Fraction of issued CASes that failed, in `[0, 1]` (0.0 when no CAS
+    /// was issued). For CAS-LT a failure is definitive (wait-free, no
+    /// retry); for the priority offer loop failures trigger retries.
+    pub fn cas_retry_rate(&self) -> f64 {
+        if self.cas_attempts == 0 {
+            0.0
+        } else {
+            self.cas_failures as f64 / self.cas_attempts as f64
+        }
+    }
+
+    /// Field-wise accumulate.
+    pub fn add(&mut self, other: &CwCounters) {
+        self.fast_path_skips += other.fast_path_skips;
+        self.cas_attempts += other.cas_attempts;
+        self.cas_failures += other.cas_failures;
+        self.wins += other.wins;
+        self.gatekeeper_rmws += other.gatekeeper_rmws;
+        self.lock_acquisitions += other.lock_acquisitions;
+        self.rearm_resets += other.rearm_resets;
+    }
+
+    /// Field-wise `self − baseline` (saturating): the counters accrued
+    /// since `baseline` was snapshotted.
+    pub fn delta_since(&self, baseline: &CwCounters) -> CwCounters {
+        CwCounters {
+            fast_path_skips: self
+                .fast_path_skips
+                .saturating_sub(baseline.fast_path_skips),
+            cas_attempts: self.cas_attempts.saturating_sub(baseline.cas_attempts),
+            cas_failures: self.cas_failures.saturating_sub(baseline.cas_failures),
+            wins: self.wins.saturating_sub(baseline.wins),
+            gatekeeper_rmws: self
+                .gatekeeper_rmws
+                .saturating_sub(baseline.gatekeeper_rmws),
+            lock_acquisitions: self
+                .lock_acquisitions
+                .saturating_sub(baseline.lock_acquisitions),
+            rearm_resets: self.rearm_resets.saturating_sub(baseline.rearm_resets),
+        }
+    }
+}
+
+impl fmt::Display for CwCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fast_skips={} cas={} cas_failed={} wins={} gk_rmws={} locks={} resets={} \
+             (fast-path {:.1}%, cas-retry {:.1}%)",
+            self.fast_path_skips,
+            self.cas_attempts,
+            self.cas_failures,
+            self.wins,
+            self.gatekeeper_rmws,
+            self.lock_acquisitions,
+            self.rearm_resets,
+            self.fast_path_hit_rate() * 100.0,
+            self.cas_retry_rate() * 100.0
+        )
+    }
+}
+
+/// Execution-substrate counters, as plain values (the value-type face of
+/// [`crate::ExecStats`]): barrier traffic and loop-scheduling
+/// grab/steal traffic, summed over the team or accrued over one round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecCounters {
+    /// Barrier rendezvous completed.
+    pub barrier_waits: u64,
+    /// Nanoseconds spent waiting at barriers (summed over workers).
+    pub barrier_wait_ns: u64,
+    /// Loop chunks acquired from a worker's own share.
+    pub grabs: u64,
+    /// Steal attempts made after an own share drained.
+    pub steal_attempts: u64,
+    /// Steal attempts that took a chunk from a victim.
+    pub steals: u64,
+}
+
+impl ExecCounters {
+    /// Fraction of acquired chunks that were stolen, in `[0, 1]`.
+    pub fn steal_ratio(&self) -> f64 {
+        let total = self.grabs + self.steals;
+        if total == 0 {
+            0.0
+        } else {
+            self.steals as f64 / total as f64
+        }
+    }
+
+    /// Field-wise accumulate.
+    pub fn add(&mut self, other: &ExecCounters) {
+        self.barrier_waits += other.barrier_waits;
+        self.barrier_wait_ns += other.barrier_wait_ns;
+        self.grabs += other.grabs;
+        self.steal_attempts += other.steal_attempts;
+        self.steals += other.steals;
+    }
+
+    /// Field-wise `self − baseline` (saturating).
+    pub fn delta_since(&self, baseline: &ExecCounters) -> ExecCounters {
+        ExecCounters {
+            barrier_waits: self.barrier_waits.saturating_sub(baseline.barrier_waits),
+            barrier_wait_ns: self
+                .barrier_wait_ns
+                .saturating_sub(baseline.barrier_wait_ns),
+            grabs: self.grabs.saturating_sub(baseline.grabs),
+            steal_attempts: self.steal_attempts.saturating_sub(baseline.steal_attempts),
+            steals: self.steals.saturating_sub(baseline.steals),
+        }
+    }
+}
+
+impl From<ExecWorkerSnapshot> for ExecCounters {
+    fn from(s: ExecWorkerSnapshot) -> ExecCounters {
+        ExecCounters {
+            barrier_waits: s.barrier_waits,
+            barrier_wait_ns: s.barrier_wait_ns,
+            grabs: s.grabs,
+            steal_attempts: s.steal_attempts,
+            steals: s.steals,
+        }
+    }
+}
+
+/// One lock-step round's telemetry: counter deltas between the round's
+/// opening and closing barriers, stamped with timestamps supplied by the
+/// collector (never read at export time).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundSnapshot {
+    /// Which `converge_rounds` invocation (parallel region) this round
+    /// belongs to.
+    pub epoch: u32,
+    /// Round index within the epoch (0-based iteration).
+    pub round: u32,
+    /// Kernel-supplied annotation (e.g. `"push"` / `"pull"` / `"hook"`);
+    /// empty when the kernel did not annotate.
+    pub label: String,
+    /// Round start, nanoseconds on the collector's clock (relative to the
+    /// collector's chosen origin).
+    pub start_ns: u64,
+    /// Round wall time, nanoseconds.
+    pub wall_ns: u64,
+    /// Claim-counter deltas accrued during the round.
+    pub cw: CwCounters,
+    /// Execution-counter deltas accrued during the round.
+    pub exec: ExecCounters,
+}
+
+/// A full telemetry report: per-round snapshots plus whole-run totals
+/// (the totals also cover work outside annotated rounds — `for_each`
+/// regions, reset passes between rounds).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RoundReport {
+    /// Team size the counters were collected under.
+    pub threads: usize,
+    /// Per-round snapshots, in collection order.
+    pub rounds: Vec<RoundSnapshot>,
+    /// Whole-run claim-counter totals.
+    pub totals_cw: CwCounters,
+    /// Whole-run execution-counter totals.
+    pub totals_exec: ExecCounters,
+}
+
+const METRICS_SCHEMA: &str = "pram-telemetry-v1";
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn cw_json(c: &CwCounters) -> String {
+    format!(
+        "{{\"fast_path_skips\": {}, \"cas_attempts\": {}, \"cas_failures\": {}, \
+         \"wins\": {}, \"gatekeeper_rmws\": {}, \"lock_acquisitions\": {}, \
+         \"rearm_resets\": {}}}",
+        c.fast_path_skips,
+        c.cas_attempts,
+        c.cas_failures,
+        c.wins,
+        c.gatekeeper_rmws,
+        c.lock_acquisitions,
+        c.rearm_resets
+    )
+}
+
+fn exec_json(e: &ExecCounters) -> String {
+    format!(
+        "{{\"barrier_waits\": {}, \"barrier_wait_ns\": {}, \"grabs\": {}, \
+         \"steal_attempts\": {}, \"steals\": {}}}",
+        e.barrier_waits, e.barrier_wait_ns, e.grabs, e.steal_attempts, e.steals
+    )
+}
+
+impl RoundReport {
+    /// The stable-schema JSON metrics dump (`pram-telemetry-v1`).
+    ///
+    /// Field ordering is fixed; counters are exact integers; the derived
+    /// rates (`fast_path_hit_rate`, `cas_retry_rate`, `steal_ratio`) are
+    /// redundant conveniences recomputed on parse. The output parses back
+    /// to an equal report via [`RoundReport::from_metrics_json`].
+    pub fn metrics_json(&self) -> String {
+        let rounds: Vec<String> = self
+            .rounds
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"epoch\": {}, \"round\": {}, \"label\": \"{}\", \"start_ns\": {}, \
+                     \"wall_ns\": {}, \"cw\": {}, \"exec\": {}}}",
+                    r.epoch,
+                    r.round,
+                    json_escape(&r.label),
+                    r.start_ns,
+                    r.wall_ns,
+                    cw_json(&r.cw),
+                    exec_json(&r.exec)
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"{METRICS_SCHEMA}\",\n  \"threads\": {},\n  \"totals\": {{\n    \
+             \"cw\": {},\n    \"exec\": {},\n    \"fast_path_hit_rate\": {:.6},\n    \
+             \"cas_retry_rate\": {:.6},\n    \"steal_ratio\": {:.6}\n  }},\n  \"rounds\": [\n    \
+             {}\n  ]\n}}\n",
+            self.threads,
+            cw_json(&self.totals_cw),
+            exec_json(&self.totals_exec),
+            self.totals_cw.fast_path_hit_rate(),
+            self.totals_cw.cas_retry_rate(),
+            self.totals_exec.steal_ratio(),
+            rounds.join(",\n    ")
+        )
+    }
+
+    /// Parse a [`RoundReport::metrics_json`] dump back into a report.
+    ///
+    /// Tolerates unknown extra fields; rejects a missing/mismatched
+    /// `schema` tag and malformed JSON.
+    pub fn from_metrics_json(s: &str) -> Result<RoundReport, String> {
+        let root = mini_json::parse(s)?;
+        let obj = root.as_obj("root")?;
+        let schema = mini_json::field(obj, "schema")?.as_str("schema")?;
+        if schema != METRICS_SCHEMA {
+            return Err(format!(
+                "unsupported telemetry schema {schema:?} (expected {METRICS_SCHEMA:?})"
+            ));
+        }
+        let threads = mini_json::field(obj, "threads")?.as_u64("threads")? as usize;
+        let totals = mini_json::field(obj, "totals")?.as_obj("totals")?;
+        let totals_cw = parse_cw(mini_json::field(totals, "cw")?)?;
+        let totals_exec = parse_exec(mini_json::field(totals, "exec")?)?;
+        let mut rounds = Vec::new();
+        for (i, r) in mini_json::field(obj, "rounds")?
+            .as_arr("rounds")?
+            .iter()
+            .enumerate()
+        {
+            let ro = r.as_obj(&format!("rounds[{i}]"))?;
+            rounds.push(RoundSnapshot {
+                epoch: mini_json::field(ro, "epoch")?.as_u64("epoch")? as u32,
+                round: mini_json::field(ro, "round")?.as_u64("round")? as u32,
+                label: mini_json::field(ro, "label")?.as_str("label")?.to_string(),
+                start_ns: mini_json::field(ro, "start_ns")?.as_u64("start_ns")?,
+                wall_ns: mini_json::field(ro, "wall_ns")?.as_u64("wall_ns")?,
+                cw: parse_cw(mini_json::field(ro, "cw")?)?,
+                exec: parse_exec(mini_json::field(ro, "exec")?)?,
+            });
+        }
+        Ok(RoundReport {
+            threads,
+            rounds,
+            totals_cw,
+            totals_exec,
+        })
+    }
+
+    /// Export as `chrome://tracing` "Trace Event Format" JSON (load in
+    /// `chrome://tracing` or Perfetto).
+    ///
+    /// Spans, in stable field order, all `ph: "X"` complete events with
+    /// microsecond `ts`/`dur` derived from the recorded nanosecond
+    /// timestamps (thousandths preserved):
+    ///
+    /// * track `tid 0` — one span per epoch, covering its rounds;
+    /// * track `tid 1` — one span per round, named
+    ///   `"round <n> [<label>]"`, with the round's claim counters in
+    ///   `args`;
+    /// * track `tid 2` — one `"barrier-wait"` span per round that
+    ///   recorded barrier waiting, `dur` = the team's summed wait time.
+    ///
+    /// No clock is read here: output is a pure function of the report, so
+    /// identical reports serialize byte-identically (the golden-file test
+    /// pins this).
+    pub fn chrome_trace(&self) -> String {
+        let us = |ns: u64| format!("{}.{:03}", ns / 1_000, ns % 1_000);
+        let mut events: Vec<String> = Vec::new();
+        // Epoch spans: rounds arrive in collection order, so each epoch's
+        // extent is the min start / max end over its contiguous run.
+        let mut epochs: Vec<(u32, u64, u64)> = Vec::new(); // (epoch, start, end)
+        for r in &self.rounds {
+            let end = r.start_ns + r.wall_ns;
+            match epochs.last_mut() {
+                Some((e, s, en)) if *e == r.epoch => {
+                    *s = (*s).min(r.start_ns);
+                    *en = (*en).max(end);
+                }
+                _ => epochs.push((r.epoch, r.start_ns, end)),
+            }
+        }
+        for (e, start, end) in &epochs {
+            events.push(format!(
+                "{{\"name\": \"epoch {e}\", \"cat\": \"epoch\", \"ph\": \"X\", \
+                 \"ts\": {}, \"dur\": {}, \"pid\": 0, \"tid\": 0}}",
+                us(*start),
+                us(end.saturating_sub(*start))
+            ));
+        }
+        for r in &self.rounds {
+            let name = if r.label.is_empty() {
+                format!("round {}", r.round)
+            } else {
+                format!("round {} [{}]", r.round, json_escape(&r.label))
+            };
+            events.push(format!(
+                "{{\"name\": \"{name}\", \"cat\": \"round\", \"ph\": \"X\", \
+                 \"ts\": {}, \"dur\": {}, \"pid\": 0, \"tid\": 1, \"args\": {}}}",
+                us(r.start_ns),
+                us(r.wall_ns),
+                cw_json(&r.cw)
+            ));
+        }
+        for r in &self.rounds {
+            if r.exec.barrier_wait_ns > 0 {
+                events.push(format!(
+                    "{{\"name\": \"barrier-wait\", \"cat\": \"barrier\", \"ph\": \"X\", \
+                     \"ts\": {}, \"dur\": {}, \"pid\": 0, \"tid\": 2, \
+                     \"args\": {{\"barrier_waits\": {}}}}}",
+                    us(r.start_ns),
+                    us(r.exec.barrier_wait_ns),
+                    r.exec.barrier_waits
+                ));
+            }
+        }
+        format!(
+            "{{\"displayTimeUnit\": \"ms\",\n \"traceEvents\": [\n  {}\n ]}}\n",
+            events.join(",\n  ")
+        )
+    }
+}
+
+fn parse_cw(v: &mini_json::Value) -> Result<CwCounters, String> {
+    let o = v.as_obj("cw")?;
+    Ok(CwCounters {
+        fast_path_skips: mini_json::field(o, "fast_path_skips")?.as_u64("fast_path_skips")?,
+        cas_attempts: mini_json::field(o, "cas_attempts")?.as_u64("cas_attempts")?,
+        cas_failures: mini_json::field(o, "cas_failures")?.as_u64("cas_failures")?,
+        wins: mini_json::field(o, "wins")?.as_u64("wins")?,
+        gatekeeper_rmws: mini_json::field(o, "gatekeeper_rmws")?.as_u64("gatekeeper_rmws")?,
+        lock_acquisitions: mini_json::field(o, "lock_acquisitions")?.as_u64("lock_acquisitions")?,
+        rearm_resets: mini_json::field(o, "rearm_resets")?.as_u64("rearm_resets")?,
+    })
+}
+
+fn parse_exec(v: &mini_json::Value) -> Result<ExecCounters, String> {
+    let o = v.as_obj("exec")?;
+    Ok(ExecCounters {
+        barrier_waits: mini_json::field(o, "barrier_waits")?.as_u64("barrier_waits")?,
+        barrier_wait_ns: mini_json::field(o, "barrier_wait_ns")?.as_u64("barrier_wait_ns")?,
+        grabs: mini_json::field(o, "grabs")?.as_u64("grabs")?,
+        steal_attempts: mini_json::field(o, "steal_attempts")?.as_u64("steal_attempts")?,
+        steals: mini_json::field(o, "steals")?.as_u64("steals")?,
+    })
+}
+
+/// A dependency-free JSON reader, just large enough for the telemetry
+/// round-trip (the workspace vendors no serde).
+mod mini_json {
+    /// A parsed JSON value. Integers without fraction/exponent/sign are
+    /// kept exact as `UInt`.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// Exact non-negative integer.
+        UInt(u64),
+        /// Any other number.
+        Float(f64),
+        /// String (escapes decoded).
+        Str(String),
+        /// Boolean.
+        Bool(bool),
+        /// null.
+        Null,
+        /// Array.
+        Arr(Vec<Value>),
+        /// Object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_obj(&self, what: &str) -> Result<&[(String, Value)], String> {
+            match self {
+                Value::Obj(o) => Ok(o),
+                other => Err(format!("{what}: expected object, got {other:?}")),
+            }
+        }
+        pub fn as_arr(&self, what: &str) -> Result<&[Value], String> {
+            match self {
+                Value::Arr(a) => Ok(a),
+                other => Err(format!("{what}: expected array, got {other:?}")),
+            }
+        }
+        pub fn as_str(&self, what: &str) -> Result<&str, String> {
+            match self {
+                Value::Str(s) => Ok(s),
+                other => Err(format!("{what}: expected string, got {other:?}")),
+            }
+        }
+        pub fn as_u64(&self, what: &str) -> Result<u64, String> {
+            match self {
+                Value::UInt(n) => Ok(*n),
+                other => Err(format!("{what}: expected unsigned integer, got {other:?}")),
+            }
+        }
+    }
+
+    /// Look up `key` in an object.
+    pub fn field<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    }
+
+    /// Parse a complete JSON document.
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            b: s.as_bytes(),
+            i: 0,
+        };
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.ws();
+            self.b
+                .get(self.i)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.peek()? == c {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at byte {}, got {:?}",
+                    c as char, self.i, self.b[self.i] as char
+                ))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' => self.literal("true", Value::Bool(true)),
+                b'f' => self.literal("false", Value::Bool(false)),
+                b'n' => self.literal("null", Value::Null),
+                b'-' | b'0'..=b'9' => self.number(),
+                c => Err(format!("unexpected {:?} at byte {}", c as char, self.i)),
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+            self.ws();
+            if self.b[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(v)
+            } else {
+                Err(format!("expected {word:?} at byte {}", self.i))
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek()? == b'}' {
+                self.i += 1;
+                return Ok(Value::Obj(fields));
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                fields.push((key, self.value()?));
+                match self.peek()? {
+                    b',' => self.i += 1,
+                    b'}' => {
+                        self.i += 1;
+                        return Ok(Value::Obj(fields));
+                    }
+                    c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.i += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.i += 1,
+                    b']' => {
+                        self.i += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    c => return Err(format!("expected ',' or ']', got {:?}", c as char)),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let c = *self
+                    .b
+                    .get(self.i)
+                    .ok_or_else(|| "unterminated string".to_string())?;
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let e = *self
+                            .b
+                            .get(self.i)
+                            .ok_or_else(|| "unterminated escape".to_string())?;
+                        self.i += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'u' => {
+                                let hex = self
+                                    .b
+                                    .get(self.i..self.i + 4)
+                                    .ok_or_else(|| "truncated \\u escape".to_string())?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                self.i += 4;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| format!("bad \\u{code:04x}"))?,
+                                );
+                            }
+                            c => return Err(format!("unsupported escape \\{}", c as char)),
+                        }
+                    }
+                    c => {
+                        // Re-assemble multi-byte UTF-8 sequences verbatim.
+                        let start = self.i - 1;
+                        let len = if c < 0x80 {
+                            1
+                        } else if c >= 0xF0 {
+                            4
+                        } else if c >= 0xE0 {
+                            3
+                        } else {
+                            2
+                        };
+                        self.i = start + len;
+                        let chunk = self
+                            .b
+                            .get(start..self.i)
+                            .ok_or_else(|| "truncated UTF-8".to_string())?;
+                        out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            self.ws();
+            let start = self.i;
+            if self.b.get(self.i) == Some(&b'-') {
+                self.i += 1;
+            }
+            while self.b.get(self.i).is_some_and(|c| {
+                c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+            }) {
+                self.i += 1;
+            }
+            let text = std::str::from_utf8(&self.b[start..self.i]).map_err(|e| e.to_string())?;
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording side — feature "telemetry" ON
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "telemetry")]
+mod recording {
+    use std::cell::Cell;
+
+    use crossbeam_utils::CachePadded;
+
+    use super::CwCounters;
+    // Routed through the facade so `--cfg pram_check` sees (and can
+    // schedule around) every telemetry increment — that is how the
+    // passivity model proves recording never perturbs arbitration.
+    use crate::sync::{AtomicU64, Ordering};
+
+    #[derive(Debug)]
+    struct ShardSlots {
+        fast_path_skips: AtomicU64,
+        cas_attempts: AtomicU64,
+        cas_failures: AtomicU64,
+        wins: AtomicU64,
+        gatekeeper_rmws: AtomicU64,
+        lock_acquisitions: AtomicU64,
+        rearm_resets: AtomicU64,
+    }
+
+    impl ShardSlots {
+        const fn new() -> ShardSlots {
+            ShardSlots {
+                fast_path_skips: AtomicU64::new(0),
+                cas_attempts: AtomicU64::new(0),
+                cas_failures: AtomicU64::new(0),
+                wins: AtomicU64::new(0),
+                gatekeeper_rmws: AtomicU64::new(0),
+                lock_acquisitions: AtomicU64::new(0),
+                rearm_resets: AtomicU64::new(0),
+            }
+        }
+    }
+
+    /// One worker's claim counters, on its own cache line(s) so recording
+    /// never bounces a line between the threads it observes.
+    #[derive(Debug)]
+    pub struct TelemetryShard {
+        slots: CachePadded<ShardSlots>,
+    }
+
+    impl TelemetryShard {
+        /// A zeroed shard.
+        pub fn new() -> TelemetryShard {
+            TelemetryShard {
+                slots: CachePadded::new(ShardSlots::new()),
+            }
+        }
+
+        /// A consistent-enough copy of this shard (exact when its owner
+        /// is quiescent).
+        pub fn snapshot(&self) -> CwCounters {
+            let s = &*self.slots;
+            CwCounters {
+                fast_path_skips: s.fast_path_skips.load(Ordering::Relaxed),
+                cas_attempts: s.cas_attempts.load(Ordering::Relaxed),
+                cas_failures: s.cas_failures.load(Ordering::Relaxed),
+                wins: s.wins.load(Ordering::Relaxed),
+                gatekeeper_rmws: s.gatekeeper_rmws.load(Ordering::Relaxed),
+                lock_acquisitions: s.lock_acquisitions.load(Ordering::Relaxed),
+                rearm_resets: s.rearm_resets.load(Ordering::Relaxed),
+            }
+        }
+    }
+
+    impl Default for TelemetryShard {
+        fn default() -> TelemetryShard {
+            TelemetryShard::new()
+        }
+    }
+
+    /// The sharded claim-counter set for one team: shard `i` belongs to
+    /// worker `i`, each worker records only into its own shard (via
+    /// [`ShardGuard`]), and [`CwTelemetry::totals`] sums shards.
+    #[derive(Debug)]
+    pub struct CwTelemetry {
+        shards: Box<[TelemetryShard]>,
+    }
+
+    impl CwTelemetry {
+        /// Zeroed shards for a team of `threads` workers.
+        pub fn new(threads: usize) -> CwTelemetry {
+            let mut v = Vec::with_capacity(threads.max(1));
+            v.resize_with(threads.max(1), TelemetryShard::new);
+            CwTelemetry {
+                shards: v.into_boxed_slice(),
+            }
+        }
+
+        /// Number of shards (the team size, at least 1).
+        pub fn shards(&self) -> usize {
+            self.shards.len()
+        }
+
+        /// Worker `i`'s shard.
+        pub fn shard(&self, i: usize) -> &TelemetryShard {
+            &self.shards[i]
+        }
+
+        /// Sum over all shards (exact when the team is quiescent, e.g.
+        /// between a round's closing barrier and the next round's opening
+        /// rendezvous).
+        pub fn totals(&self) -> CwCounters {
+            let mut total = CwCounters::default();
+            for s in self.shards.iter() {
+                total.add(&s.snapshot());
+            }
+            total
+        }
+    }
+
+    thread_local! {
+        /// Where this thread's `record_*` calls land; null = recording
+        /// disabled (the default for every thread).
+        static SINK: Cell<*const TelemetryShard> = const { Cell::new(std::ptr::null()) };
+    }
+
+    /// RAII registration of a shard as the current thread's recording
+    /// sink. Restores the previous sink on drop, so guards nest; the
+    /// borrow keeps the shard alive for the registration's lifetime.
+    /// `!Send` by construction (raw pointer member): a guard cannot
+    /// outlive its thread's stack frame on another thread.
+    #[derive(Debug)]
+    pub struct ShardGuard<'a> {
+        _shard: &'a TelemetryShard,
+        prev: *const TelemetryShard,
+    }
+
+    impl<'a> ShardGuard<'a> {
+        /// Route this thread's `record_*` calls into `shard` until the
+        /// guard drops.
+        pub fn install(shard: &'a TelemetryShard) -> ShardGuard<'a> {
+            let prev = SINK.with(|s| s.replace(shard as *const TelemetryShard));
+            ShardGuard {
+                _shard: shard,
+                prev,
+            }
+        }
+    }
+
+    impl Drop for ShardGuard<'_> {
+        fn drop(&mut self) {
+            SINK.with(|s| s.set(self.prev));
+        }
+    }
+
+    #[inline]
+    fn with_sink(f: impl FnOnce(&ShardSlots)) {
+        let p = SINK.with(|s| s.get());
+        if !p.is_null() {
+            // SAFETY: `p` was installed by a live `ShardGuard` on this
+            // thread, whose `&TelemetryShard` borrow outlives the guard
+            // (and the guard restores the previous sink on drop), so the
+            // shard is alive for the duration of this call.
+            let shard = unsafe { &*p };
+            f(&shard.slots);
+        }
+    }
+
+    /// A claim resolved by a read-only fast path.
+    #[inline]
+    pub(crate) fn record_fast_skip() {
+        with_sink(|s| {
+            s.fast_path_skips.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// A CAS issued on a claim path.
+    #[inline]
+    pub(crate) fn record_cas_attempt() {
+        with_sink(|s| {
+            s.cas_attempts.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// A claim-path CAS that failed.
+    #[inline]
+    pub(crate) fn record_cas_failure() {
+        with_sink(|s| {
+            s.cas_failures.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// A claim that returned `true`.
+    #[inline]
+    pub(crate) fn record_win() {
+        with_sink(|s| {
+            s.wins.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// A gatekeeper fetch-and-increment issued.
+    #[inline]
+    pub(crate) fn record_gatekeeper_rmw() {
+        with_sink(|s| {
+            s.gatekeeper_rmws.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// A lock acquired on the lock baseline's claim path.
+    #[inline]
+    pub(crate) fn record_lock_acquisition() {
+        with_sink(|s| {
+            s.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        });
+    }
+
+    /// `n` cells re-zeroed by a reset pass.
+    #[inline]
+    pub(crate) fn record_rearm_resets(n: u64) {
+        if n > 0 {
+            with_sink(|s| {
+                s.rearm_resets.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recording side — feature "telemetry" OFF: ZSTs and empty inline hooks,
+// so dependents compile unchanged and the hot path is the exact status quo.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "telemetry"))]
+mod recording {
+    use super::CwCounters;
+
+    /// Disabled-build stand-in: zero-sized, records nothing.
+    #[derive(Debug, Default)]
+    pub struct TelemetryShard {
+        _private: (),
+    }
+
+    impl TelemetryShard {
+        /// Always-zero snapshot.
+        pub fn snapshot(&self) -> CwCounters {
+            CwCounters::default()
+        }
+    }
+
+    static STUB_SHARD: TelemetryShard = TelemetryShard { _private: () };
+
+    /// Disabled-build stand-in: zero-sized, records nothing.
+    #[derive(Debug, Default)]
+    pub struct CwTelemetry {
+        _private: (),
+    }
+
+    impl CwTelemetry {
+        /// No shards to allocate.
+        pub fn new(_threads: usize) -> CwTelemetry {
+            CwTelemetry { _private: () }
+        }
+        /// Reported as 0 in disabled builds.
+        pub fn shards(&self) -> usize {
+            0
+        }
+        /// A shared zero-sized stub shard.
+        pub fn shard(&self, _i: usize) -> &TelemetryShard {
+            &STUB_SHARD
+        }
+        /// Always zero.
+        pub fn totals(&self) -> CwCounters {
+            CwCounters::default()
+        }
+    }
+
+    /// Disabled-build stand-in: installs nothing.
+    #[derive(Debug)]
+    pub struct ShardGuard<'a> {
+        _shard: &'a TelemetryShard,
+    }
+
+    impl<'a> ShardGuard<'a> {
+        /// No-op registration.
+        pub fn install(shard: &'a TelemetryShard) -> ShardGuard<'a> {
+            ShardGuard { _shard: shard }
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn record_fast_skip() {}
+    #[inline(always)]
+    pub(crate) fn record_cas_attempt() {}
+    #[inline(always)]
+    pub(crate) fn record_cas_failure() {}
+    #[inline(always)]
+    pub(crate) fn record_win() {}
+    #[inline(always)]
+    pub(crate) fn record_gatekeeper_rmw() {}
+    #[inline(always)]
+    pub(crate) fn record_lock_acquisition() {}
+    #[inline(always)]
+    pub(crate) fn record_rearm_resets(_n: u64) {}
+}
+
+pub use recording::{CwTelemetry, ShardGuard, TelemetryShard};
+
+pub(crate) use recording::{
+    record_cas_attempt, record_cas_failure, record_fast_skip, record_gatekeeper_rmw,
+    record_lock_acquisition, record_rearm_resets, record_win,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RoundReport {
+        RoundReport {
+            threads: 4,
+            rounds: vec![
+                RoundSnapshot {
+                    epoch: 0,
+                    round: 0,
+                    label: "push".to_string(),
+                    start_ns: 1_000,
+                    wall_ns: 2_500,
+                    cw: CwCounters {
+                        fast_path_skips: 5,
+                        cas_attempts: 7,
+                        cas_failures: 3,
+                        wins: 4,
+                        gatekeeper_rmws: 0,
+                        lock_acquisitions: 0,
+                        rearm_resets: 0,
+                    },
+                    exec: ExecCounters {
+                        barrier_waits: 8,
+                        barrier_wait_ns: 900,
+                        grabs: 12,
+                        steal_attempts: 2,
+                        steals: 1,
+                    },
+                },
+                RoundSnapshot {
+                    epoch: 0,
+                    round: 1,
+                    label: String::new(),
+                    start_ns: 3_500,
+                    wall_ns: 1_000,
+                    cw: CwCounters {
+                        fast_path_skips: 9,
+                        cas_attempts: 1,
+                        cas_failures: 0,
+                        wins: 1,
+                        ..CwCounters::default()
+                    },
+                    exec: ExecCounters::default(),
+                },
+            ],
+            totals_cw: CwCounters {
+                fast_path_skips: 14,
+                cas_attempts: 8,
+                cas_failures: 3,
+                wins: 5,
+                gatekeeper_rmws: 0,
+                lock_acquisitions: 0,
+                rearm_resets: 16,
+            },
+            totals_exec: ExecCounters {
+                barrier_waits: 8,
+                barrier_wait_ns: 900,
+                grabs: 12,
+                steal_attempts: 2,
+                steals: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn counter_math_rates_add_delta() {
+        let mut a = CwCounters {
+            fast_path_skips: 6,
+            cas_attempts: 2,
+            cas_failures: 1,
+            wins: 1,
+            ..CwCounters::default()
+        };
+        assert_eq!(a.resolutions(), 8);
+        assert!((a.fast_path_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((a.cas_retry_rate() - 0.5).abs() < 1e-12);
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.fast_path_skips, 12);
+        assert_eq!(a.delta_since(&b), b);
+        assert_eq!(CwCounters::default().fast_path_hit_rate(), 0.0);
+        assert_eq!(CwCounters::default().cas_retry_rate(), 0.0);
+        let mut e = ExecCounters {
+            grabs: 3,
+            steals: 1,
+            steal_attempts: 2,
+            ..ExecCounters::default()
+        };
+        assert!((e.steal_ratio() - 0.25).abs() < 1e-12);
+        let e0 = e;
+        e.add(&e0);
+        assert_eq!(e.grabs, 6);
+        assert_eq!(e.delta_since(&e0), e0);
+        assert_eq!(ExecCounters::default().steal_ratio(), 0.0);
+    }
+
+    #[test]
+    fn exec_counters_from_snapshot() {
+        let s = ExecWorkerSnapshot {
+            barrier_waits: 1,
+            barrier_wait_ns: 2,
+            grabs: 3,
+            steal_attempts: 4,
+            steals: 5,
+        };
+        let e = ExecCounters::from(s);
+        assert_eq!(e.barrier_waits, 1);
+        assert_eq!(e.steals, 5);
+    }
+
+    #[test]
+    fn metrics_json_round_trips() {
+        let report = sample_report();
+        let json = report.metrics_json();
+        let back = RoundReport::from_metrics_json(&json).expect("round trip");
+        assert_eq!(back, report);
+        // Serialization is a pure function of the report.
+        assert_eq!(back.metrics_json(), json);
+    }
+
+    #[test]
+    fn metrics_json_rejects_bad_input() {
+        assert!(RoundReport::from_metrics_json("").is_err());
+        assert!(RoundReport::from_metrics_json("{\"schema\": \"other\"}").is_err());
+        assert!(RoundReport::from_metrics_json("{\"threads\": 1}").is_err());
+        assert!(RoundReport::from_metrics_json("[1, 2").is_err());
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_and_monotone() {
+        let report = sample_report();
+        let trace = report.chrome_trace();
+        assert_eq!(trace, report.chrome_trace());
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("epoch 0"));
+        assert!(trace.contains("round 0 [push]"));
+        assert!(trace.contains("round 1"));
+        assert!(trace.contains("barrier-wait"));
+        // Round spans appear in recorded (monotone-timestamp) order.
+        let p0 = trace.find("round 0 [push]").unwrap();
+        let p1 = trace.find("\"round 1\"").unwrap();
+        assert!(p0 < p1);
+    }
+
+    #[test]
+    fn display_formats() {
+        let c = sample_report().totals_cw;
+        let txt = format!("{c}");
+        assert!(txt.contains("fast_skips=14"));
+        assert!(txt.contains("resets=16"));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn recording_lands_in_installed_shard_only() {
+        let telem = CwTelemetry::new(2);
+        // No guard installed: hooks are no-ops.
+        record_win();
+        assert_eq!(telem.totals(), CwCounters::default());
+        {
+            let _g = ShardGuard::install(telem.shard(0));
+            record_fast_skip();
+            record_cas_attempt();
+            record_cas_failure();
+            record_win();
+            record_gatekeeper_rmw();
+            record_lock_acquisition();
+            record_rearm_resets(5);
+            record_rearm_resets(0);
+        }
+        // Guard dropped: recording is off again.
+        record_win();
+        let t = telem.totals();
+        assert_eq!(t.fast_path_skips, 1);
+        assert_eq!(t.cas_attempts, 1);
+        assert_eq!(t.cas_failures, 1);
+        assert_eq!(t.wins, 1);
+        assert_eq!(t.gatekeeper_rmws, 1);
+        assert_eq!(t.lock_acquisitions, 1);
+        assert_eq!(t.rearm_resets, 5);
+        assert_eq!(telem.shard(1).snapshot(), CwCounters::default());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn shard_guards_nest_and_restore() {
+        let telem = CwTelemetry::new(2);
+        let g0 = ShardGuard::install(telem.shard(0));
+        record_win();
+        {
+            let _g1 = ShardGuard::install(telem.shard(1));
+            record_win();
+        }
+        record_win();
+        drop(g0);
+        record_win(); // no sink
+        assert_eq!(telem.shard(0).snapshot().wins, 2);
+        assert_eq!(telem.shard(1).snapshot().wins, 1);
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn disabled_build_types_are_zero_sized_no_ops() {
+        assert_eq!(std::mem::size_of::<CwTelemetry>(), 0);
+        assert_eq!(std::mem::size_of::<TelemetryShard>(), 0);
+        // The arbiters themselves never carry counters — with telemetry
+        // off, a cell is exactly its round word, nothing more.
+        assert_eq!(
+            std::mem::size_of::<crate::CasLtCell>(),
+            std::mem::size_of::<u32>()
+        );
+        let telem = CwTelemetry::new(8);
+        let _g = ShardGuard::install(telem.shard(0));
+        record_win();
+        record_rearm_resets(100);
+        assert_eq!(telem.totals(), CwCounters::default());
+        assert_eq!(telem.shards(), 0);
+    }
+}

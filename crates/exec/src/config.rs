@@ -66,6 +66,14 @@ pub struct PoolConfig {
     /// grab/steal counts). Off by default: recording costs one branch on
     /// the hot paths when disabled, atomic increments when enabled.
     pub collect_stats: bool,
+    /// Collect per-round concurrent-write telemetry
+    /// ([`pram_core::CwTelemetry`]): each worker records its claim
+    /// outcomes into a cache-padded shard, and
+    /// [`crate::WorkerCtx::converge_rounds`] snapshots the merged counters
+    /// at every round's closing barrier into a
+    /// [`pram_core::RoundReport`]. Implies `collect_stats`. Off by
+    /// default; no effect when the `telemetry` feature is disabled.
+    pub telemetry: bool,
 }
 
 impl PoolConfig {
@@ -106,6 +114,12 @@ impl PoolConfig {
         self.collect_stats = on;
         self
     }
+
+    /// Enable or disable per-round concurrent-write telemetry.
+    pub fn telemetry(mut self, on: bool) -> PoolConfig {
+        self.telemetry = on;
+        self
+    }
 }
 
 impl Default for PoolConfig {
@@ -119,6 +133,7 @@ impl Default for PoolConfig {
             barrier: BarrierKind::Central,
             irregular: ScheduleKind::Dynamic,
             collect_stats: false,
+            telemetry: false,
         }
     }
 }
@@ -134,13 +149,15 @@ mod tests {
             .spin_before_yield(5)
             .barrier(BarrierKind::Dissemination)
             .irregular(ScheduleKind::Stealing)
-            .collect_stats(true);
+            .collect_stats(true)
+            .telemetry(true);
         assert_eq!(c.threads, 7);
         assert_eq!(c.wait_policy, WaitPolicy::Active);
         assert_eq!(c.spin_before_yield, 5);
         assert_eq!(c.barrier, BarrierKind::Dissemination);
         assert_eq!(c.irregular, ScheduleKind::Stealing);
         assert!(c.collect_stats);
+        assert!(c.telemetry);
     }
 
     #[test]
@@ -151,5 +168,6 @@ mod tests {
         assert_eq!(c.barrier, BarrierKind::Central);
         assert_eq!(c.irregular, ScheduleKind::Dynamic);
         assert!(!c.collect_stats);
+        assert!(!c.telemetry);
     }
 }

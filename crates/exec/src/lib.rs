@@ -72,7 +72,10 @@ pub mod steal;
 
 pub use barrier::{DisseminationBarrier, SpinBarrier, TeamBarrier, WaitBackoff};
 pub use config::{BarrierKind, PoolConfig, WaitPolicy};
+// Telemetry vocabulary re-exported so pool users need not depend on
+// pram-core directly for reports.
 pub use frontier::{FrontierBuffer, LocalBuffer};
 pub use pool::{ChangedFlag, ThreadPool, WorkerCtx, FRONTIER_GRAIN_EDGES};
+pub use pram_core::{CwCounters, CwTelemetry, ExecCounters, RoundReport, RoundSnapshot};
 pub use schedule::{Schedule, ScheduleKind};
 pub use steal::StealQueues;

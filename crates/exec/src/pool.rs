@@ -20,13 +20,15 @@
 
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam_utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
-use pram_core::{ExecStats, Round};
+use pram_core::{
+    CwCounters, CwTelemetry, ExecCounters, ExecStats, Round, RoundReport, RoundSnapshot, ShardGuard,
+};
 
 use crate::barrier::TeamBarrier;
 use crate::config::PoolConfig;
@@ -79,8 +81,31 @@ struct PoolShared {
     /// Pool-wide preference for irregular loops
     /// (`WorkerCtx::irregular_schedule`).
     irregular: ScheduleKind,
-    /// Per-worker execution counters, when `PoolConfig::collect_stats`.
+    /// Per-worker execution counters, when `PoolConfig::collect_stats`
+    /// (or `PoolConfig::telemetry`, which folds them into round reports).
     stats: Option<ExecStats>,
+    /// Sharded concurrent-write counters, when `PoolConfig::telemetry`.
+    /// Each team member routes its claim telemetry into shard
+    /// `thread_id` via a thread-local [`ShardGuard`] installed for the
+    /// duration of region execution.
+    telem: Option<CwTelemetry>,
+    /// Per-round snapshots accumulated by `converge_rounds`; drained by
+    /// [`ThreadPool::take_round_report`].
+    round_log: Mutex<Vec<RoundSnapshot>>,
+    /// Kernel-supplied label for the round in flight
+    /// ([`WorkerCtx::annotate_round`]); taken by the member-0 snapshot at
+    /// the round's closing barrier.
+    round_label: Mutex<Option<&'static str>>,
+    /// Monotone id handed to each `converge_rounds` invocation, grouping
+    /// its rounds in the report ("epoch" = one kernel run).
+    epoch: AtomicU32,
+    /// Counter baseline captured at each round's opening rendezvous (all
+    /// members quiescent), subtracted at the closing barrier to form the
+    /// round's deltas.
+    round_base: Mutex<(CwCounters, ExecCounters)>,
+    /// Pool creation time: the origin for all round timestamps, so spans
+    /// from different epochs share one monotone clock.
+    t0: std::time::Instant,
     /// Double-buffered convergence flags for `converge_rounds`; round `i`
     /// uses slot `i % 2`, and barrier spacing guarantees slot reuse is
     /// race-free (see `converge_rounds`).
@@ -138,7 +163,14 @@ impl ThreadPool {
             cursor: CachePadded::new(AtomicUsize::new(0)),
             steal: StealQueues::new(config.threads),
             irregular: config.irregular,
-            stats: config.collect_stats.then(|| ExecStats::new(config.threads)),
+            stats: (config.collect_stats || config.telemetry)
+                .then(|| ExecStats::new(config.threads)),
+            telem: config.telemetry.then(|| CwTelemetry::new(config.threads)),
+            round_log: Mutex::new(Vec::new()),
+            round_label: Mutex::new(None),
+            epoch: AtomicU32::new(0),
+            round_base: Mutex::new((CwCounters::default(), ExecCounters::default())),
+            t0: std::time::Instant::now(),
             changed: [
                 CachePadded::new(AtomicBool::new(false)),
                 CachePadded::new(AtomicBool::new(false)),
@@ -183,6 +215,40 @@ impl ThreadPool {
         self.shared.stats.as_ref()
     }
 
+    /// Sharded concurrent-write telemetry, if enabled via
+    /// [`PoolConfig::telemetry`]. Counters accumulate across regions.
+    pub fn telemetry(&self) -> Option<&CwTelemetry> {
+        self.shared.telem.as_ref()
+    }
+
+    /// Drain the per-round snapshots recorded by
+    /// [`WorkerCtx::converge_rounds`] since the last call, merged with the
+    /// pool-lifetime counter totals into a [`RoundReport`].
+    ///
+    /// Totals cover every claim routed through this pool's shards and
+    /// every recorded barrier wait / grab / steal — including work outside
+    /// `converge_rounds` — so they can exceed the per-round sums.
+    /// Returns an empty report when telemetry is disabled.
+    pub fn take_round_report(&self) -> RoundReport {
+        let rounds = std::mem::take(&mut *self.shared.round_log.lock());
+        RoundReport {
+            threads: self.shared.threads,
+            rounds,
+            totals_cw: self
+                .shared
+                .telem
+                .as_ref()
+                .map(CwTelemetry::totals)
+                .unwrap_or_default(),
+            totals_exec: self
+                .shared
+                .stats
+                .as_ref()
+                .map(|st| ExecCounters::from(st.total_snapshot()))
+                .unwrap_or_default(),
+        }
+    }
+
     /// Execute `f` on every team member — enter a parallel region.
     ///
     /// Blocks until all members have returned from `f`. `f` runs with
@@ -214,7 +280,12 @@ impl ThreadPool {
             self.shared.dispatch_cv.notify_all();
         }
 
-        // Participate as member 0.
+        // Participate as member 0, routing claim telemetry to shard 0.
+        let _telem_guard = self
+            .shared
+            .telem
+            .as_ref()
+            .map(|t| ShardGuard::install(t.shard(0)));
         let ctx = WorkerCtx {
             shared: &self.shared,
             id: 0,
@@ -254,6 +325,12 @@ impl Drop for ThreadPool {
 }
 
 fn worker_loop(shared: &PoolShared, id: usize) {
+    // Route this worker's claim telemetry to its own shard for the
+    // thread's whole lifetime (the guard is a thread-local registration).
+    let _telem_guard = shared
+        .telem
+        .as_ref()
+        .map(|t| ShardGuard::install(t.shard(id)));
     let mut seen = 0u64;
     loop {
         let job = {
@@ -633,6 +710,13 @@ impl WorkerCtx<'_> {
         max_rounds: u32,
         mut body: impl FnMut(Round, &ChangedFlag<'_>),
     ) -> Convergence {
+        let telem = self.shared.telem.as_ref();
+        // One epoch id per converge_rounds invocation; member 0 owns the
+        // snapshot bookkeeping.
+        let epoch = match telem {
+            Some(_) if self.id == 0 => self.shared.epoch.fetch_add(1, Ordering::Relaxed),
+            _ => 0,
+        };
         let mut executed = 0;
         let mut converged = false;
         for i in 0..max_rounds {
@@ -640,10 +724,40 @@ impl WorkerCtx<'_> {
             // Slot reuse is race-free: round i's reset happens at a barrier
             // every member reaches only after reading slot (i-2)%2 == i%2
             // at the end of round i-2, two barriers ago.
-            self.barrier_with(|| slot.store(false, Ordering::Relaxed));
+            self.barrier_with(|| {
+                slot.store(false, Ordering::Relaxed);
+                if let Some(t) = telem {
+                    // Every member is at the rendezvous: no claim is in
+                    // flight, so this baseline is exact for the round.
+                    *self.shared.round_base.lock() = (t.totals(), self.exec_totals());
+                }
+            });
+            let start_ns = match telem {
+                Some(_) if self.id == 0 => self.shared.t0.elapsed().as_nanos() as u64,
+                _ => 0,
+            };
             let flag = ChangedFlag { flag: slot };
             body(Round::from_iteration(i), &flag);
             self.barrier();
+            if let Some(t) = telem {
+                if self.id == 0 {
+                    // Quiescent window: sibling members issue no claims
+                    // between the closing barrier above and the next
+                    // rendezvous, so the deltas below are exact.
+                    let (base_cw, base_exec) = *self.shared.round_base.lock();
+                    let label = self.shared.round_label.lock().take().unwrap_or("");
+                    self.shared.round_log.lock().push(RoundSnapshot {
+                        epoch,
+                        round: i,
+                        label: label.to_string(),
+                        start_ns,
+                        wall_ns: (self.shared.t0.elapsed().as_nanos() as u64)
+                            .saturating_sub(start_ns),
+                        cw: t.totals().delta_since(&base_cw),
+                        exec: self.exec_totals().delta_since(&base_exec),
+                    });
+                }
+            }
             executed = i + 1;
             if !slot.load(Ordering::Relaxed) {
                 converged = true;
@@ -654,6 +768,28 @@ impl WorkerCtx<'_> {
             rounds: executed,
             converged,
         }
+    }
+
+    /// Kernel-side round annotation for telemetry: label the round in
+    /// flight (e.g. `"push"` / `"pull"` for a direction-optimizing BFS).
+    /// The label is attached to the round's [`RoundSnapshot`] at its
+    /// closing barrier. No-op unless [`PoolConfig::telemetry`] is set;
+    /// members of a team may call it redundantly (last write wins, and
+    /// kernels pass the same label from every member).
+    #[inline]
+    pub fn annotate_round(&self, label: &'static str) {
+        if self.shared.telem.is_some() {
+            *self.shared.round_label.lock() = Some(label);
+        }
+    }
+
+    /// Team-wide exec counter totals (zero when stats are disabled).
+    fn exec_totals(&self) -> ExecCounters {
+        self.shared
+            .stats
+            .as_ref()
+            .map(|st| ExecCounters::from(st.total_snapshot()))
+            .unwrap_or_default()
     }
 }
 
@@ -874,6 +1010,73 @@ mod tests {
         for (i, slot) in b.iter().enumerate() {
             assert_eq!(slot.load(Ordering::Relaxed), (63 - i) as u64 + 1);
         }
+    }
+
+    #[test]
+    fn telemetry_round_report_records_rounds() {
+        use pram_core::CasLtArray;
+        let pool = ThreadPool::with_config(PoolConfig::new(3).telemetry(true));
+        assert!(pool.stats().is_some(), "telemetry implies exec stats");
+        let cells = CasLtArray::new(4);
+        pool.run(|ctx| {
+            let c = ctx.converge_rounds(10, |round, flag| {
+                ctx.annotate_round("claim");
+                for i in 0..4 {
+                    cells.try_claim(i, round);
+                }
+                if round.get() < 3 {
+                    flag.set();
+                }
+                ctx.barrier();
+            });
+            assert_eq!(c.rounds, 3);
+        });
+        let report = pool.take_round_report();
+        assert_eq!(report.threads, 3);
+        assert_eq!(report.rounds.len(), 3);
+        let mut last_start = 0;
+        for (i, r) in report.rounds.iter().enumerate() {
+            assert_eq!(r.epoch, 0);
+            assert_eq!(r.round as usize, i);
+            assert_eq!(r.label, "claim");
+            assert!(r.start_ns >= last_start, "round starts are monotone");
+            last_start = r.start_ns;
+            #[cfg(feature = "telemetry")]
+            {
+                // Fully contended CAS-LT round: 3 threads × 4 cells,
+                // every claim resolves, exactly one win per cell.
+                assert_eq!(r.cw.wins, 4, "round {i}");
+                assert_eq!(r.cw.resolutions(), 3 * 4, "round {i}");
+                assert_eq!(r.cw.fast_path_skips + r.cw.cas_attempts, 3 * 4, "round {i}");
+            }
+        }
+        #[cfg(feature = "telemetry")]
+        assert_eq!(report.totals_cw.wins, 3 * 4);
+        // A second epoch, drained separately.
+        pool.run(|ctx| {
+            ctx.converge_rounds(1, |round, _| {
+                cells.try_claim(0, round);
+                ctx.barrier();
+            });
+        });
+        let report2 = pool.take_round_report();
+        assert_eq!(report2.rounds.len(), 1);
+        assert_eq!(report2.rounds[0].epoch, 1);
+        assert!(pool.take_round_report().rounds.is_empty(), "log drains");
+    }
+
+    #[test]
+    fn telemetry_disabled_pool_records_nothing() {
+        let pool = ThreadPool::new(2);
+        pool.run(|ctx| {
+            ctx.annotate_round("ignored");
+            ctx.converge_rounds(2, |_, _| {
+                ctx.barrier();
+            });
+        });
+        let report = pool.take_round_report();
+        assert!(report.rounds.is_empty());
+        assert_eq!(report.threads, 2);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Exporter contracts: the chrome://tracing dump is pinned to a committed
+//! golden file (stable field ordering, timestamps purely from the injected
+//! clock values — never `Instant::now()` at serialization time), and the
+//! JSON metrics schema round-trips losslessly.
+//!
+//! Regenerate the golden after an *intentional* format change with:
+//!
+//! ```text
+//! PRAM_REGEN_GOLDEN=1 cargo test --test telemetry_export
+//! ```
+
+use pram_core::{CwCounters, ExecCounters, RoundReport, RoundSnapshot};
+use pram_exec::{PoolConfig, ThreadPool};
+
+/// A fully deterministic report: every timestamp is an injected constant,
+/// so the exporters must produce byte-identical output on every run and
+/// platform.
+fn sample_report() -> RoundReport {
+    let cw = |skips, cas, fail, wins| CwCounters {
+        fast_path_skips: skips,
+        cas_attempts: cas,
+        cas_failures: fail,
+        wins,
+        gatekeeper_rmws: 0,
+        lock_acquisitions: 0,
+        rearm_resets: 0,
+    };
+    let exec = |waits, wait_ns, grabs, attempts, steals| ExecCounters {
+        barrier_waits: waits,
+        barrier_wait_ns: wait_ns,
+        grabs,
+        steal_attempts: attempts,
+        steals,
+    };
+    let rounds = vec![
+        RoundSnapshot {
+            epoch: 0,
+            round: 0,
+            label: "push".to_string(),
+            start_ns: 1_000,
+            wall_ns: 2_500,
+            cw: cw(3, 5, 1, 4),
+            exec: exec(4, 700, 6, 2, 1),
+        },
+        RoundSnapshot {
+            epoch: 0,
+            round: 1,
+            label: "pull".to_string(),
+            start_ns: 4_000,
+            wall_ns: 1_250,
+            cw: cw(7, 1, 0, 1),
+            exec: exec(4, 300, 5, 0, 0),
+        },
+        RoundSnapshot {
+            epoch: 1,
+            round: 0,
+            label: String::new(), // unannotated round
+            start_ns: 7_000,
+            wall_ns: 3_000,
+            cw: CwCounters {
+                gatekeeper_rmws: 8,
+                wins: 2,
+                rearm_resets: 2,
+                ..CwCounters::default()
+            },
+            exec: exec(2, 150, 4, 1, 0),
+        },
+    ];
+    let mut totals_cw = CwCounters::default();
+    let mut totals_exec = ExecCounters::default();
+    for r in &rounds {
+        totals_cw.add(&r.cw);
+        totals_exec.add(&r.exec);
+    }
+    RoundReport {
+        threads: 2,
+        rounds,
+        totals_cw,
+        totals_exec,
+    }
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/chrome_trace.json")
+}
+
+#[test]
+fn chrome_trace_matches_golden_file() {
+    let trace = sample_report().chrome_trace();
+    if std::env::var_os("PRAM_REGEN_GOLDEN").is_some() {
+        std::fs::write(golden_path(), &trace).expect("write golden");
+    }
+    let golden = std::fs::read_to_string(golden_path())
+        .expect("golden file missing — run with PRAM_REGEN_GOLDEN=1 once");
+    assert_eq!(
+        trace, golden,
+        "chrome trace drifted from tests/golden/chrome_trace.json; if the \
+         change is intentional, regenerate with PRAM_REGEN_GOLDEN=1"
+    );
+}
+
+#[test]
+fn chrome_trace_is_a_pure_function_of_the_report() {
+    // No clock read in the serialized path: two exports of the same report
+    // are byte-identical, and exporting a rebuilt equal report matches too.
+    let r = sample_report();
+    let a = r.chrome_trace();
+    let b = r.chrome_trace();
+    assert_eq!(a, b);
+    assert_eq!(a, sample_report().chrome_trace());
+}
+
+#[test]
+fn chrome_trace_timestamps_are_monotone_per_track() {
+    // Extract `"ts": <num>` in emission order; events are grouped per tid
+    // track (epochs, rounds, barrier waits) and each track's spans are
+    // emitted in collection order, so ts must be non-decreasing within
+    // each contiguous tid run.
+    let trace = sample_report().chrome_trace();
+    let mut events: Vec<(u64, f64)> = Vec::new(); // (tid, ts)
+    for obj in trace.split('{').skip(2) {
+        let grab = |key: &str| -> Option<f64> {
+            let at = obj.find(key)?;
+            let rest = &obj[at + key.len()..];
+            let end = rest
+                .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+                .unwrap_or(rest.len());
+            rest[..end].parse().ok()
+        };
+        if let (Some(tid), Some(ts)) = (grab("\"tid\": "), grab("\"ts\": ")) {
+            events.push((tid as u64, ts));
+        }
+    }
+    assert!(
+        events.len() >= 6,
+        "expected epoch+round spans, got {events:?}"
+    );
+    for w in events.windows(2) {
+        if w[0].0 == w[1].0 {
+            assert!(
+                w[1].1 >= w[0].1,
+                "timestamps regress within tid {}: {} then {}",
+                w[0].0,
+                w[0].1,
+                w[1].1
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_json_round_trips() {
+    let r = sample_report();
+    let json = r.metrics_json();
+    let parsed = RoundReport::from_metrics_json(&json).expect("parse own dump");
+    assert_eq!(parsed, r, "metrics JSON round trip must be lossless");
+    // And the dump itself is stable.
+    assert_eq!(parsed.metrics_json(), json);
+}
+
+#[test]
+fn metrics_json_rejects_foreign_or_malformed_input() {
+    let r = sample_report();
+    let json = r.metrics_json();
+    let foreign = json.replace("pram-telemetry-v1", "pram-telemetry-v999");
+    let err = RoundReport::from_metrics_json(&foreign).unwrap_err();
+    assert!(err.contains("schema"), "unhelpful error: {err}");
+    assert!(RoundReport::from_metrics_json("not json").is_err());
+    assert!(RoundReport::from_metrics_json("{}").is_err());
+}
+
+#[test]
+fn live_pool_report_round_trips_and_traces() {
+    // End-to-end: a real pool run's report survives the JSON round trip
+    // and produces a trace whose spans carry the kernel's annotations.
+    let pool = ThreadPool::with_config(PoolConfig::new(2).telemetry(true));
+    let cells = pram_core::CasLtArray::new(4);
+    pool.run(|ctx| {
+        ctx.converge_rounds(3, |round, flag| {
+            ctx.annotate_round("claim");
+            for i in 0..4 {
+                cells.try_claim(i, round);
+            }
+            if round.get() < 3 {
+                flag.set();
+            }
+        });
+    });
+    let report = pool.take_round_report();
+    assert_eq!(report.rounds.len(), 3);
+    let parsed = RoundReport::from_metrics_json(&report.metrics_json()).unwrap();
+    assert_eq!(parsed, report);
+    let trace = report.chrome_trace();
+    assert!(trace.contains("[claim]"), "round labels reach the trace");
+    assert!(trace.ends_with("]}\n"), "well-formed trace object");
+}
