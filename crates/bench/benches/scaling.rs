@@ -423,18 +423,27 @@ fn main() {
         on_s.sort_unstable();
         let off_ms = ms(off_s[off_s.len() / 2]);
         let on_ms = ms(on_s[on_s.len() / 2]);
+        // Adaptive noise floor: a median gap smaller than the measured
+        // run-to-run spread of either configuration is indistinguishable
+        // from scheduler noise, so it must not trip the guard. Single-core
+        // and oversubscribed runners show multi-millisecond spreads where
+        // a fixed floor flakes; quiet machines keep the floor near the
+        // 2 ms base and the 5% relative limit does the real work.
+        let spread = |s: &[std::time::Duration]| ms(s[s.len() - 1]) - ms(s[0]);
+        let noise_floor_ms = 2.0_f64.max(spread(&off_s)).max(spread(&on_s));
         let overhead = (on_ms - off_ms) / off_ms;
         eprintln!(
             "telemetry overhead @ rmat18/direction-optimizing/T={max_t}: \
-             off {off_ms:.3} ms, on {on_ms:.3} ms ({:+.1}%)",
+             off {off_ms:.3} ms, on {on_ms:.3} ms ({:+.1}%, noise floor \
+             {noise_floor_ms:.3} ms)",
             overhead * 100.0
         );
         if std::env::var_os("PRAM_BENCH_SKIP_OVERHEAD_GUARD").is_none() {
             assert!(
-                on_ms <= off_ms * 1.05 || on_ms - off_ms <= 2.0,
+                on_ms <= off_ms * 1.05 || on_ms - off_ms <= noise_floor_ms,
                 "telemetry overhead guard tripped: enabled {on_ms:.3} ms vs disabled \
-                 {off_ms:.3} ms ({:+.1}%, limit 5%); set PRAM_BENCH_SKIP_OVERHEAD_GUARD=1 \
-                 to bypass on a known-noisy machine",
+                 {off_ms:.3} ms ({:+.1}%, limit 5%, noise floor {noise_floor_ms:.3} ms); \
+                 set PRAM_BENCH_SKIP_OVERHEAD_GUARD=1 to bypass on a known-noisy machine",
                 overhead * 100.0
             );
         }
@@ -442,7 +451,7 @@ fn main() {
             "{{\"graph\": \"rmat18\", \"strategy\": \"direction-optimizing\", \
              \"threads\": {max_t}, \"reps\": {guard_reps}, \"disabled_ms\": {off_ms:.4}, \
              \"enabled_ms\": {on_ms:.4}, \"overhead_frac\": {overhead:.4}, \
-             \"guard_limit_frac\": 0.05}}"
+             \"guard_limit_frac\": 0.05, \"noise_floor_ms\": {noise_floor_ms:.4}}}"
         )
     };
 

@@ -1,0 +1,715 @@
+//! Contention-adaptive arbitration: a [`SliceArbiter`] that delegates to
+//! naive / CAS-LT / gatekeeper per *epoch*, choosing the delegate online
+//! from the telemetry deltas of previous rounds.
+//!
+//! The paper's own figures show no single concurrent-write method
+//! dominates: naive stores win for single-word *common* writes at low
+//! contention (no atomic at all), CAS-LT wins under contention and for
+//! multi-word/arbitrary writes (the read-only fast path absorbs repeat
+//! claims), and the gatekeeper pays one RMW per claim *plus* an O(n)
+//! re-zero pass per round regardless of how little hooking happened.
+//! [`crate::telemetry`] measures exactly those mechanisms per round; this
+//! module closes the loop by feeding the measured deltas back into the
+//! method choice.
+//!
+//! Three pieces:
+//!
+//! * [`AdaptivePolicy`] — a **pure, deterministic** decision procedure
+//!   over [`CwCounters`] deltas with hysteresis (a challenger must win
+//!   [`HYSTERESIS_EPOCHS`] consecutive epochs, and a fresh switch is
+//!   followed by [`COOLDOWN_EPOCHS`] of no reconsideration), so the
+//!   delegate never flip-flops. Being plain values in / plain values out,
+//!   the policy is property-testable without threads.
+//! * [`WriteProfile`] — the static hint path: a kernel whose guarded
+//!   write is a single word on which all concurrent writers agree
+//!   (logical-or flags, level-only BFS) can pin the naive delegate, which
+//!   the policy will never override. The default [`WriteProfile::Auto`]
+//!   assumes arbitrary multi-word writes and only ever chooses between
+//!   the single-winner delegates.
+//! * [`AdaptiveArbiter`] — the runtime object: one claim-cell family per
+//!   delegate plus an *active delegate* word. Claims route through one
+//!   extra `Acquire` load; switches happen **only** at epoch boundaries
+//!   ([`AdaptiveArbiter::epoch_boundary`]), called by a single thread
+//!   while the whole team is quiescent at a barrier — in this workspace,
+//!   the elected member of `pram_exec::WorkerCtx::tune`'s rendezvous.
+//!
+//! Every shared word (the active-delegate selector, the policy mutex) is
+//! routed through [`crate::sync`], so `--cfg pram_check` schedule
+//! exploration models the switcher exactly like the delegates it wraps
+//! (`tests/check_adaptive.rs` proves an epoch-boundary switch loses no
+//! rounds and never double-awards a `(cell, round)`).
+//!
+//! ## Why switches are safe at epoch boundaries only
+//!
+//! Within a round, exactly one delegate answers every claim, so the
+//! single-winner contract is the delegate's own. Across a switch the
+//! argument needs two invariants, both maintained here:
+//!
+//! 1. **Gatekeeper cells are zero whenever the gatekeeper is not
+//!    active.** They start zero, kernels re-zero them after every round
+//!    in which the gatekeeper was active (its `rearms_on_new_round()` is
+//!    `false`), and switching *to* the gatekeeper re-zeroes defensively —
+//!    so the incoming delegate is always fully armed and no round is
+//!    lost.
+//! 2. **Rounds strictly increase across a switch.** CAS-LT cells keep
+//!    whatever round they last recorded; because a returning round id is
+//!    always larger, stale cells are claimable, never falsely claimed.
+//!    (This is the same round discipline CAS-LT itself requires.)
+
+use std::fmt;
+
+use crate::gatekeeper::GatekeeperArray;
+use crate::naive::NaiveArbiter;
+use crate::round::Round;
+use crate::sync::{AtomicU32, Mutex, Ordering};
+use crate::telemetry::CwCounters;
+use crate::traits::SliceArbiter;
+use crate::CasLtArray;
+
+/// Epochs in a row a challenger must be preferred before a switch commits.
+pub const HYSTERESIS_EPOCHS: u32 = 2;
+/// Epochs after a switch during which no new challenge is considered.
+pub const COOLDOWN_EPOCHS: u32 = 2;
+/// Minimum claim resolutions per epoch for the delta to count as signal;
+/// quieter epochs reset the challenger streak instead of feeding it.
+pub const MIN_SIGNAL_RESOLUTIONS: u64 = 64;
+/// CAS failure fraction above which CAS-LT is considered contended.
+pub const CAS_RETRY_HI: f64 = 0.5;
+/// Fast-path hit fraction below which CAS-LT's load filter is considered
+/// ineffective (the contention is not being absorbed read-only).
+pub const FAST_PATH_LO: f64 = 0.25;
+/// Resolutions-per-cell density below which the gatekeeper's O(n) re-zero
+/// pass dominates its useful work.
+pub const DENSITY_LO: f64 = 2.0;
+
+/// The methods [`AdaptiveArbiter`] can delegate to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Delegate {
+    /// Unarbitrated stores: every claim "wins". Sound only for
+    /// single-word common writes; reachable only via
+    /// [`WriteProfile::CommonSingleWord`], never chosen online.
+    Naive,
+    /// CAS-if-less-than round claims (the paper's contribution). The
+    /// starting delegate for every non-pinned profile.
+    CasLt,
+    /// Per-cell fetch-and-add gatekeeper (needs per-round re-zeroing).
+    Gatekeeper,
+}
+
+impl Delegate {
+    /// Stable short name (matches the kernel-facing method names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Delegate::Naive => "naive",
+            Delegate::CasLt => "caslt",
+            Delegate::Gatekeeper => "gatekeeper",
+        }
+    }
+
+    fn as_u32(self) -> u32 {
+        match self {
+            Delegate::Naive => 0,
+            Delegate::CasLt => 1,
+            Delegate::Gatekeeper => 2,
+        }
+    }
+
+    fn from_u32(v: u32) -> Delegate {
+        match v {
+            0 => Delegate::Naive,
+            1 => Delegate::CasLt,
+            2 => Delegate::Gatekeeper,
+            _ => unreachable!("invalid delegate discriminant {v}"),
+        }
+    }
+}
+
+impl fmt::Display for Delegate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static knowledge about the guarded write, supplied by the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum WriteProfile {
+    /// No static knowledge: assume arbitrary multi-word writes (the safe
+    /// default) and adapt between the single-winner delegates.
+    #[default]
+    Auto,
+    /// The guarded write is one word and all concurrent writers store the
+    /// same value (logical-or flags, BFS levels without tree edges).
+    /// **Pins the naive delegate** — provably safe for this write shape,
+    /// and no online evidence can justify overriding a soundness fact.
+    CommonSingleWord,
+    /// The guarded write spans several words or writers disagree (BFS
+    /// four-word commits, CC's two-array hooks). Behaves like
+    /// [`WriteProfile::Auto`] but documents intent: naive is *unsound*
+    /// here and is never considered.
+    ArbitraryMultiWord,
+}
+
+impl WriteProfile {
+    /// The delegate this profile pins, if any.
+    pub fn pinned_delegate(self) -> Option<Delegate> {
+        match self {
+            WriteProfile::CommonSingleWord => Some(Delegate::Naive),
+            WriteProfile::Auto | WriteProfile::ArbitraryMultiWord => None,
+        }
+    }
+}
+
+/// One committed delegate switch, for the decision trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchDecision {
+    /// Policy epoch (1-based observation count) at which the switch
+    /// committed.
+    pub epoch: u32,
+    /// Delegate being switched away from.
+    pub from: Delegate,
+    /// Delegate now active.
+    pub to: Delegate,
+    /// Which policy rule fired (stable short slug, e.g.
+    /// `"cas-retry-surge"`).
+    pub reason: &'static str,
+}
+
+impl fmt::Display for SwitchDecision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "adaptive {}->{} ({}) @epoch {}",
+            self.from, self.to, self.reason, self.epoch
+        )
+    }
+}
+
+/// The deterministic hysteresis policy: plain values in (one
+/// [`CwCounters`] delta per epoch), plain values out (an optional
+/// committed [`SwitchDecision`]).
+///
+/// Decision table (evaluated on each epoch's delta; `density` =
+/// `resolutions / cells`):
+///
+/// | current | challenger | fires when | reason |
+/// |---|---|---|---|
+/// | any pinned | — | never | — |
+/// | caslt | gatekeeper | `cas_retry_rate > `[`CAS_RETRY_HI`]` && fast_path_hit_rate < `[`FAST_PATH_LO`] | `cas-retry-surge` |
+/// | gatekeeper | caslt | `density < `[`DENSITY_LO`] | `low-density` |
+/// | gatekeeper | caslt | `rearm_resets > gatekeeper_rmws` | `rearm-dominated` |
+///
+/// A challenger must fire [`HYSTERESIS_EPOCHS`] epochs in a row to
+/// commit; every committed switch is followed by [`COOLDOWN_EPOCHS`]
+/// epochs in which challenges are ignored; epochs with fewer than
+/// [`MIN_SIGNAL_RESOLUTIONS`] resolutions reset the streak. Consequently
+/// two switches are always at least `HYSTERESIS_EPOCHS +
+/// COOLDOWN_EPOCHS` epochs apart, and the switch count is bounded by
+/// `(epochs + COOLDOWN_EPOCHS) / (HYSTERESIS_EPOCHS + COOLDOWN_EPOCHS)`
+/// (`tests/prop_adaptive.rs` pins both properties for arbitrary
+/// telemetry sequences).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptivePolicy {
+    profile: WriteProfile,
+    current: Delegate,
+    /// Consecutive epochs the same challenger has fired.
+    streak: u32,
+    /// The challenger accumulating the streak (meaningful when
+    /// `streak > 0`).
+    challenger: Delegate,
+    /// Epochs left before challenges are considered again.
+    cooldown: u32,
+    /// Observations made so far (1-based in emitted decisions).
+    epochs: u32,
+    /// Switches committed so far.
+    switches: u32,
+    /// Cumulative-counter baseline for [`AdaptivePolicy::observe_totals`].
+    last_totals: CwCounters,
+}
+
+impl AdaptivePolicy {
+    /// A fresh policy for `profile`; the starting delegate is the pinned
+    /// one, or CAS-LT (the paper's overall winner) when unpinned.
+    pub fn new(profile: WriteProfile) -> AdaptivePolicy {
+        let current = profile.pinned_delegate().unwrap_or(Delegate::CasLt);
+        AdaptivePolicy {
+            profile,
+            current,
+            streak: 0,
+            challenger: current,
+            cooldown: 0,
+            epochs: 0,
+            switches: 0,
+            last_totals: CwCounters::default(),
+        }
+    }
+
+    /// The delegate the policy currently selects.
+    pub fn current(&self) -> Delegate {
+        self.current
+    }
+
+    /// The profile the policy was built with.
+    pub fn profile(&self) -> WriteProfile {
+        self.profile
+    }
+
+    /// Epochs observed so far.
+    pub fn epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// Switches committed so far.
+    pub fn switches(&self) -> u32 {
+        self.switches
+    }
+
+    /// Observe one epoch given *cumulative* counter totals (the form the
+    /// pool's telemetry exposes); the policy differences them internally.
+    pub fn observe_totals(&mut self, totals: &CwCounters, cells: usize) -> Option<SwitchDecision> {
+        let delta = totals.delta_since(&self.last_totals);
+        self.last_totals = *totals;
+        self.observe_delta(&delta, cells)
+    }
+
+    /// Observe one epoch's counter **delta** over `cells` claim targets;
+    /// returns the switch iff one committed this epoch.
+    pub fn observe_delta(&mut self, delta: &CwCounters, cells: usize) -> Option<SwitchDecision> {
+        self.epochs = self.epochs.saturating_add(1);
+        if self.profile.pinned_delegate().is_some() {
+            return None;
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            self.streak = 0;
+            return None;
+        }
+        if delta.resolutions() < MIN_SIGNAL_RESOLUTIONS {
+            self.streak = 0;
+            return None;
+        }
+        let Some((challenger, reason)) = self.challenge(delta, cells) else {
+            self.streak = 0;
+            return None;
+        };
+        if self.streak > 0 && challenger != self.challenger {
+            // A different challenger restarts the streak.
+            self.streak = 0;
+        }
+        self.challenger = challenger;
+        self.streak += 1;
+        if self.streak < HYSTERESIS_EPOCHS {
+            return None;
+        }
+        let decision = SwitchDecision {
+            epoch: self.epochs,
+            from: self.current,
+            to: challenger,
+            reason,
+        };
+        self.current = challenger;
+        self.streak = 0;
+        self.cooldown = COOLDOWN_EPOCHS;
+        self.switches += 1;
+        Some(decision)
+    }
+
+    /// The decision table: which delegate this epoch's evidence prefers
+    /// over the current one, if any.
+    fn challenge(&self, delta: &CwCounters, cells: usize) -> Option<(Delegate, &'static str)> {
+        let density = delta.resolutions() as f64 / cells.max(1) as f64;
+        match self.current {
+            Delegate::CasLt => {
+                if delta.cas_retry_rate() > CAS_RETRY_HI
+                    && delta.fast_path_hit_rate() < FAST_PATH_LO
+                {
+                    return Some((Delegate::Gatekeeper, "cas-retry-surge"));
+                }
+                None
+            }
+            Delegate::Gatekeeper => {
+                if density < DENSITY_LO {
+                    return Some((Delegate::CasLt, "low-density"));
+                }
+                if delta.rearm_resets > delta.gatekeeper_rmws {
+                    return Some((Delegate::CasLt, "rearm-dominated"));
+                }
+                None
+            }
+            // Naive is only reachable pinned, which never gets here.
+            Delegate::Naive => None,
+        }
+    }
+}
+
+/// Interior state guarded by the arbiter's mutex: the policy plus the
+/// decision trace.
+#[derive(Debug)]
+struct Tuner {
+    policy: AdaptivePolicy,
+    trace: Vec<SwitchDecision>,
+}
+
+/// A [`SliceArbiter`] that delegates each claim to the currently active
+/// method and re-chooses the method at epoch boundaries from telemetry.
+///
+/// Construction allocates all delegate families up front (naive is
+/// zero-cost; CAS-LT and gatekeeper are one `u32` word per cell each), so
+/// switching never allocates. The claim path costs one `Acquire` load and
+/// a jump over the chosen delegate's own path.
+///
+/// ```
+/// use pram_core::{AdaptiveArbiter, Delegate, Round, SliceArbiter};
+///
+/// let arb = AdaptiveArbiter::new(4);
+/// assert_eq!(arb.active_delegate(), Delegate::CasLt);
+/// assert!(arb.try_claim(0, Round::FIRST));
+/// assert!(!arb.try_claim(0, Round::FIRST)); // single winner
+/// ```
+pub struct AdaptiveArbiter {
+    naive: NaiveArbiter,
+    caslt: CasLtArray,
+    gate: GatekeeperArray,
+    /// Immutable after construction; read lock-free on the tune path.
+    profile: WriteProfile,
+    /// Discriminant of the active [`Delegate`]; written only at epoch
+    /// boundaries (team quiescent), read `Acquire` on every claim.
+    active: AtomicU32,
+    tuner: Mutex<Tuner>,
+}
+
+impl AdaptiveArbiter {
+    /// An adaptive family over `len` cells with the default
+    /// ([`WriteProfile::Auto`]) profile.
+    pub fn new(len: usize) -> AdaptiveArbiter {
+        AdaptiveArbiter::with_profile(len, WriteProfile::Auto)
+    }
+
+    /// An adaptive family over `len` cells with an explicit profile.
+    pub fn with_profile(len: usize, profile: WriteProfile) -> AdaptiveArbiter {
+        let policy = AdaptivePolicy::new(profile);
+        AdaptiveArbiter {
+            naive: NaiveArbiter::new(len),
+            caslt: CasLtArray::new(len),
+            gate: GatekeeperArray::new(len),
+            profile,
+            active: AtomicU32::new(policy.current().as_u32()),
+            tuner: Mutex::new(Tuner {
+                policy,
+                trace: Vec::new(),
+            }),
+        }
+    }
+
+    /// The delegate answering claims right now.
+    pub fn active_delegate(&self) -> Delegate {
+        Delegate::from_u32(self.active.load(Ordering::Acquire))
+    }
+
+    /// The profile this arbiter was built with.
+    pub fn profile(&self) -> WriteProfile {
+        self.profile
+    }
+
+    /// Every switch committed so far, in order.
+    pub fn decision_trace(&self) -> Vec<SwitchDecision> {
+        self.tuner.lock().trace.clone()
+    }
+
+    /// Number of switches committed so far.
+    pub fn switches(&self) -> u32 {
+        self.tuner.lock().policy.switches()
+    }
+
+    /// Epoch-boundary tuning step: feed the pool's **cumulative** claim
+    /// counters to the policy and apply its decision, if any.
+    ///
+    /// # Contract
+    /// Must be called by exactly one thread while every thread that may
+    /// claim is quiescent (e.g. from the elected member's slot of a team
+    /// barrier), and only between rounds — the next claimed round id must
+    /// be strictly greater than every round claimed so far.
+    pub fn epoch_boundary(&self, totals: &CwCounters) -> Option<SwitchDecision> {
+        let mut tuner = self.tuner.lock();
+        let decision = tuner.policy.observe_totals(totals, self.caslt.len())?;
+        tuner.trace.push(decision);
+        drop(tuner);
+        self.apply(decision);
+        Some(decision)
+    }
+
+    /// Force the active delegate to `to`, bypassing the policy's evidence
+    /// rules (but **not** a pinned profile, which is never overridden).
+    /// Same quiescence contract as [`AdaptiveArbiter::epoch_boundary`];
+    /// meant for tests and schedule-exploration models that need a switch
+    /// at a chosen boundary.
+    pub fn force_switch(&self, to: Delegate) -> Option<SwitchDecision> {
+        if self.profile.pinned_delegate().is_some() {
+            return None;
+        }
+        let mut tuner = self.tuner.lock();
+        let from = tuner.policy.current();
+        if from == to {
+            return None;
+        }
+        let decision = SwitchDecision {
+            epoch: tuner.policy.epochs(),
+            from,
+            to,
+            reason: "forced",
+        };
+        tuner.policy.current = to;
+        tuner.policy.switches += 1;
+        tuner.trace.push(decision);
+        drop(tuner);
+        self.apply(decision);
+        Some(decision)
+    }
+
+    /// Publish a committed switch: arm the incoming delegate, then flip
+    /// the selector.
+    fn apply(&self, decision: SwitchDecision) {
+        if decision.to == Delegate::Gatekeeper {
+            // Defensive re-arm: gatekeeper cells are already zero per the
+            // module invariant, but correctness of the next round must
+            // not depend on every kernel's reset discipline.
+            self.gate.reset_all();
+        }
+        self.active.store(decision.to.as_u32(), Ordering::Release);
+    }
+}
+
+impl fmt::Debug for AdaptiveArbiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AdaptiveArbiter")
+            .field("len", &self.caslt.len())
+            .field("active", &self.active_delegate())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SliceArbiter for AdaptiveArbiter {
+    fn len(&self) -> usize {
+        self.caslt.len()
+    }
+
+    fn try_claim(&self, index: usize, round: Round) -> bool {
+        match self.active_delegate() {
+            Delegate::Naive => self.naive.try_claim(index, round),
+            Delegate::CasLt => self.caslt.try_claim(index, round),
+            Delegate::Gatekeeper => self.gate.try_claim(index, round),
+        }
+    }
+
+    fn reset_all(&self) {
+        // Full re-arm across delegates (between-kernels reset).
+        self.caslt.reset_all();
+        self.gate.reset_all();
+    }
+
+    fn reset_range(&self, range: std::ops::Range<usize>) {
+        // The per-round re-zero pass targets the active delegate only.
+        match self.active_delegate() {
+            Delegate::Naive => self.naive.reset_range(range),
+            Delegate::CasLt => self.caslt.reset_range(range),
+            Delegate::Gatekeeper => self.gate.reset_range(range),
+        }
+    }
+
+    fn rearms_on_new_round(&self) -> bool {
+        // Answered per-round: only the gatekeeper needs the reset pass.
+        self.active_delegate() != Delegate::Gatekeeper
+    }
+
+    fn adapts(&self) -> bool {
+        self.profile.pinned_delegate().is_none()
+    }
+
+    fn epoch_boundary(&self, totals: &CwCounters) -> Option<SwitchDecision> {
+        AdaptiveArbiter::epoch_boundary(self, totals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A delta that fires the caslt → gatekeeper rule.
+    fn contended_delta() -> CwCounters {
+        CwCounters {
+            cas_attempts: 1000,
+            cas_failures: 900,
+            fast_path_skips: 10,
+            wins: 100,
+            ..CwCounters::default()
+        }
+    }
+
+    /// A delta that fires the gatekeeper → caslt low-density rule.
+    fn sparse_delta() -> CwCounters {
+        CwCounters {
+            gatekeeper_rmws: 80,
+            wins: 80,
+            ..CwCounters::default()
+        }
+    }
+
+    #[test]
+    fn auto_starts_on_caslt_and_pin_starts_on_naive() {
+        assert_eq!(AdaptiveArbiter::new(4).active_delegate(), Delegate::CasLt);
+        let pinned = AdaptiveArbiter::with_profile(4, WriteProfile::CommonSingleWord);
+        assert_eq!(pinned.active_delegate(), Delegate::Naive);
+        assert!(!pinned.adapts());
+        assert!(AdaptiveArbiter::new(4).adapts());
+    }
+
+    #[test]
+    fn hysteresis_requires_consecutive_epochs() {
+        let mut p = AdaptivePolicy::new(WriteProfile::Auto);
+        assert_eq!(p.observe_delta(&contended_delta(), 64), None);
+        // An interleaved quiet epoch resets the streak.
+        assert_eq!(p.observe_delta(&CwCounters::default(), 64), None);
+        assert_eq!(p.observe_delta(&contended_delta(), 64), None);
+        let d = p
+            .observe_delta(&contended_delta(), 64)
+            .expect("second consecutive contended epoch commits");
+        assert_eq!(d.from, Delegate::CasLt);
+        assert_eq!(d.to, Delegate::Gatekeeper);
+        assert_eq!(d.reason, "cas-retry-surge");
+        assert_eq!(p.current(), Delegate::Gatekeeper);
+    }
+
+    #[test]
+    fn cooldown_blocks_immediate_flip_flop() {
+        let mut p = AdaptivePolicy::new(WriteProfile::Auto);
+        p.observe_delta(&contended_delta(), 64);
+        assert!(p.observe_delta(&contended_delta(), 64).is_some());
+        // Now on gatekeeper; sparse evidence would prefer caslt, but the
+        // cooldown swallows the first COOLDOWN_EPOCHS challenges.
+        for _ in 0..COOLDOWN_EPOCHS {
+            assert_eq!(p.observe_delta(&sparse_delta(), 64), None);
+        }
+        for _ in 0..HYSTERESIS_EPOCHS - 1 {
+            assert_eq!(p.observe_delta(&sparse_delta(), 64), None);
+        }
+        let d = p.observe_delta(&sparse_delta(), 64).expect("switch back");
+        assert_eq!(d.to, Delegate::CasLt);
+        assert_eq!(d.reason, "low-density");
+        assert_eq!(p.switches(), 2);
+    }
+
+    #[test]
+    fn pinned_profile_never_switches() {
+        let mut p = AdaptivePolicy::new(WriteProfile::CommonSingleWord);
+        for _ in 0..32 {
+            assert_eq!(p.observe_delta(&contended_delta(), 64), None);
+            assert_eq!(p.current(), Delegate::Naive);
+        }
+        let arb = AdaptiveArbiter::with_profile(2, WriteProfile::CommonSingleWord);
+        assert!(arb.force_switch(Delegate::CasLt).is_none());
+        assert_eq!(arb.active_delegate(), Delegate::Naive);
+    }
+
+    #[test]
+    fn low_signal_epochs_never_switch() {
+        let mut p = AdaptivePolicy::new(WriteProfile::Auto);
+        let tiny = CwCounters {
+            cas_attempts: 8,
+            cas_failures: 8,
+            ..CwCounters::default()
+        };
+        for _ in 0..32 {
+            assert_eq!(p.observe_delta(&tiny, 64), None);
+        }
+        assert_eq!(p.current(), Delegate::CasLt);
+    }
+
+    #[test]
+    fn observe_totals_differences_cumulative_counters() {
+        let mut by_delta = AdaptivePolicy::new(WriteProfile::Auto);
+        let mut by_total = AdaptivePolicy::new(WriteProfile::Auto);
+        let mut totals = CwCounters::default();
+        for _ in 0..3 {
+            let d1 = by_delta.observe_delta(&contended_delta(), 64);
+            totals.add(&contended_delta());
+            let d2 = by_total.observe_totals(&totals, 64);
+            assert_eq!(d1, d2);
+        }
+        assert_eq!(by_delta.current(), by_total.current());
+        assert_eq!(by_delta.switches(), by_total.switches());
+        assert_eq!(by_delta.epochs(), by_total.epochs());
+    }
+
+    #[test]
+    fn switch_loses_no_round_and_keeps_single_winner() {
+        let arb = AdaptiveArbiter::new(3);
+        let r1 = Round::FIRST;
+        assert!(arb.try_claim(0, r1));
+        assert!(!arb.try_claim(0, r1));
+        let d = arb.force_switch(Delegate::Gatekeeper).expect("switch");
+        assert_eq!(d.reason, "forced");
+        assert!(!arb.rearms_on_new_round());
+        let r2 = r1.next().unwrap();
+        // The incoming gatekeeper is armed for every cell, including the
+        // one claimed last round: no round is lost...
+        assert!(arb.try_claim(0, r2));
+        // ...and single-winner holds under the new delegate.
+        assert!(!arb.try_claim(0, r2));
+        // Per-round re-zero targets the gatekeeper now.
+        arb.reset_range(0..3);
+        let r3 = r2.next().unwrap();
+        assert!(arb.try_claim(0, r3));
+    }
+
+    #[test]
+    fn switch_back_to_caslt_respects_round_monotonicity() {
+        let arb = AdaptiveArbiter::new(2);
+        assert!(arb.try_claim(1, Round::FIRST)); // caslt cell 1 holds round 1
+        arb.force_switch(Delegate::Gatekeeper).unwrap();
+        arb.reset_range(0..2);
+        arb.force_switch(Delegate::CasLt).unwrap();
+        assert!(arb.rearms_on_new_round());
+        // Stale caslt state is from an older round: still claimable once.
+        let r2 = Round::from_iteration(1);
+        assert!(arb.try_claim(1, r2));
+        assert!(!arb.try_claim(1, r2));
+    }
+
+    #[test]
+    fn epoch_boundary_drives_switch_and_trace() {
+        let arb = AdaptiveArbiter::new(8);
+        let mut totals = CwCounters::default();
+        totals.add(&contended_delta());
+        assert!(arb.epoch_boundary(&totals).is_none());
+        totals.add(&contended_delta());
+        let d = arb.epoch_boundary(&totals).expect("hysteresis satisfied");
+        assert_eq!(arb.active_delegate(), Delegate::Gatekeeper);
+        assert_eq!(arb.decision_trace(), vec![d]);
+        assert_eq!(arb.switches(), 1);
+        let shown = d.to_string();
+        assert!(shown.contains("caslt->gatekeeper"), "{shown}");
+        assert!(shown.contains("cas-retry-surge"), "{shown}");
+    }
+
+    #[test]
+    fn reset_all_rearms_every_delegate() {
+        let arb = AdaptiveArbiter::new(2);
+        arb.force_switch(Delegate::Gatekeeper).unwrap();
+        assert!(arb.try_claim(0, Round::FIRST));
+        arb.reset_all();
+        assert!(arb.try_claim(0, Round::FIRST));
+    }
+
+    #[test]
+    fn names_and_debug() {
+        assert_eq!(Delegate::CasLt.to_string(), "caslt");
+        assert_eq!(Delegate::Naive.name(), "naive");
+        assert_eq!(Delegate::Gatekeeper.to_string(), "gatekeeper");
+        let dbg = format!("{:?}", AdaptiveArbiter::new(2));
+        assert!(dbg.contains("AdaptiveArbiter"), "{dbg}");
+        assert_eq!(
+            WriteProfile::CommonSingleWord.pinned_delegate(),
+            Some(Delegate::Naive)
+        );
+        assert_eq!(WriteProfile::ArbitraryMultiWord.pinned_delegate(), None);
+    }
+}

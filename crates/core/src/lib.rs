@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod adaptive;
 pub mod bitmap;
 pub mod caslt;
 pub mod gatekeeper;
@@ -93,6 +94,7 @@ pub mod sync;
 pub mod telemetry;
 pub mod traits;
 
+pub use adaptive::{AdaptiveArbiter, AdaptivePolicy, Delegate, SwitchDecision, WriteProfile};
 pub use bitmap::{AtomicBitmap, BitGatekeeperArray};
 pub use caslt::{
     AlwaysRmwCasLtArray, CasLtArray, CasLtArray64, CasLtCell, CasLtCell64, PaddedCasLtArray,

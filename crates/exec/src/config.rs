@@ -46,6 +46,59 @@ pub enum BarrierKind {
     Dissemination,
 }
 
+/// The pool's preferred concurrent-write method, advisory metadata that
+/// kernels read back via [`crate::ThreadPool::method_kind`] (typically
+/// through `pram_algos::CwMethod::for_pool`) so one configuration point
+/// selects arbitration for every kernel launched on the pool.
+///
+/// The substrate itself never instantiates arbiters — kernels do — so
+/// this enum mirrors the kernel-level method names without depending on
+/// them. [`MethodKind::Adaptive`] selects the telemetry-driven
+/// `pram_core::AdaptiveArbiter`; for its online switching to have data,
+/// enable [`PoolConfig::telemetry`] (without it the adaptive arbiter
+/// stays on its starting delegate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MethodKind {
+    /// Unarbitrated stores (sound only for single-word common writes).
+    Naive,
+    /// Fetch-and-add gatekeeper.
+    Gatekeeper,
+    /// Gatekeeper with the load-first skip mitigation.
+    GatekeeperSkip,
+    /// CAS-if-less-than round claims (the paper's method).
+    #[default]
+    CasLt,
+    /// CAS-LT with one cache line per claim word.
+    CasLtPadded,
+    /// Per-target mutex baseline.
+    Lock,
+    /// Contention-adaptive delegation driven by round telemetry, with
+    /// switch decisions made in the elected member's slot of the tuning
+    /// rendezvous ([`crate::WorkerCtx::tune`]).
+    Adaptive,
+}
+
+impl MethodKind {
+    /// Stable short name (matches the kernel-level method names).
+    pub fn name(self) -> &'static str {
+        match self {
+            MethodKind::Naive => "naive",
+            MethodKind::Gatekeeper => "gatekeeper",
+            MethodKind::GatekeeperSkip => "gatekeeper-skip",
+            MethodKind::CasLt => "caslt",
+            MethodKind::CasLtPadded => "caslt-padded",
+            MethodKind::Lock => "lock",
+            MethodKind::Adaptive => "adaptive",
+        }
+    }
+}
+
+impl std::fmt::Display for MethodKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Configuration for [`crate::ThreadPool`].
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
@@ -74,6 +127,10 @@ pub struct PoolConfig {
     /// [`pram_core::RoundReport`]. Implies `collect_stats`. Off by
     /// default; no effect when the `telemetry` feature is disabled.
     pub telemetry: bool,
+    /// Preferred concurrent-write method for kernels launched on this
+    /// pool (advisory; see [`MethodKind`]). Defaults to
+    /// [`MethodKind::CasLt`], the paper's overall winner.
+    pub method: MethodKind,
 }
 
 impl PoolConfig {
@@ -120,6 +177,12 @@ impl PoolConfig {
         self.telemetry = on;
         self
     }
+
+    /// Override the pool's preferred concurrent-write method.
+    pub fn method(mut self, kind: MethodKind) -> PoolConfig {
+        self.method = kind;
+        self
+    }
 }
 
 impl Default for PoolConfig {
@@ -134,6 +197,7 @@ impl Default for PoolConfig {
             irregular: ScheduleKind::Dynamic,
             collect_stats: false,
             telemetry: false,
+            method: MethodKind::CasLt,
         }
     }
 }
@@ -150,8 +214,10 @@ mod tests {
             .barrier(BarrierKind::Dissemination)
             .irregular(ScheduleKind::Stealing)
             .collect_stats(true)
-            .telemetry(true);
+            .telemetry(true)
+            .method(MethodKind::Adaptive);
         assert_eq!(c.threads, 7);
+        assert_eq!(c.method, MethodKind::Adaptive);
         assert_eq!(c.wait_policy, WaitPolicy::Active);
         assert_eq!(c.spin_before_yield, 5);
         assert_eq!(c.barrier, BarrierKind::Dissemination);
@@ -169,5 +235,24 @@ mod tests {
         assert_eq!(c.irregular, ScheduleKind::Dynamic);
         assert!(!c.collect_stats);
         assert!(!c.telemetry);
+        assert_eq!(c.method, MethodKind::CasLt);
+    }
+
+    #[test]
+    fn method_kind_names_are_stable() {
+        let all = [
+            MethodKind::Naive,
+            MethodKind::Gatekeeper,
+            MethodKind::GatekeeperSkip,
+            MethodKind::CasLt,
+            MethodKind::CasLtPadded,
+            MethodKind::Lock,
+            MethodKind::Adaptive,
+        ];
+        for kind in all {
+            assert!(!kind.name().is_empty());
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(MethodKind::default(), MethodKind::CasLt);
     }
 }

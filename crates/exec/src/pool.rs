@@ -27,11 +27,12 @@ use std::thread::JoinHandle;
 use crossbeam_utils::CachePadded;
 use parking_lot::{Condvar, Mutex};
 use pram_core::{
-    CwCounters, CwTelemetry, ExecCounters, ExecStats, Round, RoundReport, RoundSnapshot, ShardGuard,
+    CwCounters, CwTelemetry, ExecCounters, ExecStats, Round, RoundReport, RoundSnapshot,
+    ShardGuard, SliceArbiter,
 };
 
 use crate::barrier::TeamBarrier;
-use crate::config::PoolConfig;
+use crate::config::{MethodKind, PoolConfig};
 use crate::frontier::FrontierBuffer;
 use crate::schedule::{guided_grab, static_block, static_chunks, Schedule, ScheduleKind};
 use crate::steal::StealQueues;
@@ -96,6 +97,14 @@ struct PoolShared {
     /// ([`WorkerCtx::annotate_round`]); taken by the member-0 snapshot at
     /// the round's closing barrier.
     round_label: Mutex<Option<&'static str>>,
+    /// Adaptive-arbitration switch decisions made during the round in
+    /// flight ([`WorkerCtx::tune`]); appended to the round's label at the
+    /// member-0 snapshot, exposing the decision trace through
+    /// [`RoundReport`] with no schema change.
+    switch_note: Mutex<Option<String>>,
+    /// The pool's preferred concurrent-write method
+    /// ([`PoolConfig::method`]), advisory metadata for kernels.
+    method: MethodKind,
     /// Monotone id handed to each `converge_rounds` invocation, grouping
     /// its rounds in the report ("epoch" = one kernel run).
     epoch: AtomicU32,
@@ -168,6 +177,8 @@ impl ThreadPool {
             telem: config.telemetry.then(|| CwTelemetry::new(config.threads)),
             round_log: Mutex::new(Vec::new()),
             round_label: Mutex::new(None),
+            switch_note: Mutex::new(None),
+            method: config.method,
             epoch: AtomicU32::new(0),
             round_base: Mutex::new((CwCounters::default(), ExecCounters::default())),
             t0: std::time::Instant::now(),
@@ -219,6 +230,13 @@ impl ThreadPool {
     /// [`PoolConfig::telemetry`]. Counters accumulate across regions.
     pub fn telemetry(&self) -> Option<&CwTelemetry> {
         self.shared.telem.as_ref()
+    }
+
+    /// The pool's preferred concurrent-write method
+    /// ([`PoolConfig::method`]). Kernels typically read this through
+    /// `pram_algos::CwMethod::for_pool`.
+    pub fn method_kind(&self) -> MethodKind {
+        self.shared.method
     }
 
     /// Drain the per-round snapshots recorded by
@@ -746,10 +764,17 @@ impl WorkerCtx<'_> {
                     // rendezvous, so the deltas below are exact.
                     let (base_cw, base_exec) = *self.shared.round_base.lock();
                     let label = self.shared.round_label.lock().take().unwrap_or("");
+                    // Fold any adaptive switch decision into the label so
+                    // the decision trace rides the existing report schema.
+                    let label = match self.shared.switch_note.lock().take() {
+                        Some(note) if label.is_empty() => note,
+                        Some(note) => format!("{label} | {note}"),
+                        None => label.to_string(),
+                    };
                     self.shared.round_log.lock().push(RoundSnapshot {
                         epoch,
                         round: i,
-                        label: label.to_string(),
+                        label,
                         start_ns,
                         wall_ns: (self.shared.t0.elapsed().as_nanos() as u64)
                             .saturating_sub(start_ns),
@@ -781,6 +806,39 @@ impl WorkerCtx<'_> {
         if self.shared.telem.is_some() {
             *self.shared.round_label.lock() = Some(label);
         }
+    }
+
+    /// Round-barrier tuning rendezvous for contention-adaptive arbiters:
+    /// the elected member feeds the pool's cumulative claim counters to
+    /// [`SliceArbiter::epoch_boundary`] while the whole team is parked at
+    /// the barrier, so a delegate switch is observed by every member
+    /// before any further claim — the race-free switch point
+    /// `pram_core::adaptive` requires.
+    ///
+    /// A no-op (no barrier, no atomics) unless the arbiter adapts
+    /// ([`SliceArbiter::adapts`]) **and** the pool collects telemetry
+    /// ([`PoolConfig::telemetry`] — without counters the policy would
+    /// have no evidence), so static arbiters and plain pools pay nothing.
+    /// Every team member must call it at the same point, like
+    /// [`WorkerCtx::barrier`]. Committed switches are appended to the
+    /// round's [`RoundSnapshot`] label (see
+    /// [`ThreadPool::take_round_report`]).
+    pub fn tune<A: SliceArbiter + ?Sized>(&self, arb: &A) {
+        let Some(telem) = self.shared.telem.as_ref() else {
+            return;
+        };
+        if !arb.adapts() {
+            return;
+        }
+        self.barrier_with(|| {
+            if let Some(decision) = arb.epoch_boundary(&telem.totals()) {
+                let mut note = self.shared.switch_note.lock();
+                *note = Some(match note.take() {
+                    Some(prev) => format!("{prev}; {decision}"),
+                    None => decision.to_string(),
+                });
+            }
+        });
     }
 
     /// Team-wide exec counter totals (zero when stats are disabled).

@@ -1,0 +1,171 @@
+//! Model-checking tier for the adaptive arbitration switcher.
+//!
+//! Compiled (and meaningful) only under the instrumented shim:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg pram_check" cargo test -p crcw-pram --test check_adaptive
+//! ```
+//!
+//! Two families of assertions, mirroring `check_arbiters.rs`:
+//!
+//! * **Soundness of the switch protocol** — `pram_core::AdaptiveArbiter`
+//!   keeps the single-winner invariant under every schedule within the
+//!   bound, both while delegating statically and across epoch-boundary
+//!   delegate switches (CAS-LT → gatekeeper → CAS-LT, including the
+//!   stale-claim-state re-entry that the strictly-increasing round
+//!   discipline makes safe). A switch at an epoch boundary loses no round:
+//!   every phase still elects exactly one winner.
+//! * **Sensitivity to broken switching** — the seeded
+//!   `pram_check::BuggySwitchArbiter`, which migrates delegate state
+//!   mid-round with no barrier, is *detected* by both the exhaustive and
+//!   the seeded-random tiers, and the reported schedule/seed replays to
+//!   the same violation. A pinned `WriteProfile::CommonSingleWord` (naive
+//!   delegate) is likewise seen through the delegation layer.
+#![cfg(pram_check)]
+
+use pram_check::models::{EpochSwitch, Model, PerCellSingleWinner, SingleRoundWinner};
+use pram_check::{
+    explore_exhaustive, explore_random, replay, BuggySwitchArbiter, ExploreOptions, Violation,
+};
+use pram_core::{AdaptiveArbiter, Round, WriteProfile};
+
+const THREADS: usize = 3;
+
+fn opts() -> ExploreOptions {
+    ExploreOptions::default()
+}
+
+/// Assert that exploration finds a violation and that its recorded
+/// schedule deterministically replays to a violation.
+fn assert_violation_found_and_replayable<M: Model>(
+    report_violation: Option<Violation>,
+    make_model: impl FnMut() -> M,
+    expect_in_message: &str,
+) -> Violation {
+    let v = report_violation.expect("checker failed to find the seeded violation");
+    assert!(
+        v.message.contains(expect_in_message),
+        "unexpected violation message: {}",
+        v.message
+    );
+    let replayed = replay(make_model, &v.schedule);
+    let msg = replayed
+        .violation
+        .unwrap_or_else(|| panic!("replaying schedule {:?} did not reproduce: {v}", v.schedule));
+    assert!(
+        msg.contains(expect_in_message),
+        "replay produced a different violation: {msg}"
+    );
+    v
+}
+
+// ---------------------------------------------------------------- soundness
+
+#[test]
+fn adaptive_default_delegate_single_winner_exhaustive() {
+    // Static behaviour first: before any switch, the adaptive arbiter is
+    // its CAS-LT delegate plus one active-delegate load per claim.
+    let report = explore_exhaustive(
+        || {
+            SingleRoundWinner::new(
+                "adaptive-caslt",
+                AdaptiveArbiter::new(1),
+                THREADS,
+                Round::FIRST,
+            )
+        },
+        &opts(),
+    );
+    report.assert_clean();
+    assert!(report.complete, "schedule tree not exhausted");
+    assert!(report.executions > 1, "expected schedule branching");
+}
+
+#[test]
+fn adaptive_epoch_switch_loses_no_round_exhaustive() {
+    // The headline property: a delegate switch confined to the epoch
+    // boundary (sequential glue == the elected member's barrier slot)
+    // preserves exactly-one-winner in every phase, under every schedule —
+    // including claims re-entering stale CAS-LT state after the
+    // gatekeeper detour.
+    let report = explore_exhaustive(|| EpochSwitch::new(2), &opts());
+    report.assert_clean();
+    assert!(report.complete, "epoch-switch tree not exhausted");
+    assert!(report.executions > 1, "expected schedule branching");
+}
+
+#[test]
+fn adaptive_fanned_out_cells_single_winner_exhaustive() {
+    // Multi-cell fan-out (the shape the buggy switcher breaks) is clean
+    // on the real adaptive arbiter: no switch can happen mid-round.
+    let report = explore_exhaustive(
+        || {
+            PerCellSingleWinner::new(
+                "adaptive-fanout",
+                AdaptiveArbiter::new(2),
+                vec![0, 1, 1],
+                Round::FIRST,
+            )
+        },
+        &opts(),
+    );
+    report.assert_clean();
+    assert!(report.complete);
+}
+
+// -------------------------------------------------------------- sensitivity
+
+fn buggy_switch_model() -> PerCellSingleWinner<BuggySwitchArbiter> {
+    // Thread 0 trips the switch by winning cell 0; threads 1 and 2 race
+    // cell 1 — one can land a CAS-LT claim the migration already copied
+    // over as "unclaimed", the other then re-wins the same (cell, round)
+    // through the fresh gatekeeper counter.
+    PerCellSingleWinner::new(
+        "buggy-mid-round-switch",
+        BuggySwitchArbiter::new(2, 1),
+        vec![0, 1, 1],
+        Round::FIRST,
+    )
+}
+
+#[test]
+fn buggy_mid_round_switch_is_detected_exhaustive() {
+    let report = explore_exhaustive(buggy_switch_model, &opts());
+    let v = assert_violation_found_and_replayable(report.violation, buggy_switch_model, "winner");
+    assert_eq!(v.model, "buggy-mid-round-switch");
+    // The losing interleaving needs the migration to overtake an
+    // in-flight claim, so the failing schedule must interleave threads.
+    assert!(v.schedule.len() >= 2, "suspicious trivial schedule: {v}");
+}
+
+#[test]
+fn buggy_mid_round_switch_is_detected_by_random_tier() {
+    let report = explore_random(buggy_switch_model, 500, 1, &opts());
+    let v = report
+        .violation
+        .expect("random tier failed to find the seeded violation");
+    let seed = v.seed.expect("random-tier violation must carry its seed");
+    let replayed = pram_check::replay_seed(buggy_switch_model, seed, &opts());
+    assert!(
+        replayed.violation.is_some(),
+        "seed {seed:#x} did not replay to a violation"
+    );
+}
+
+#[test]
+fn pinned_naive_profile_multi_winner_is_detected() {
+    // The checker sees through the delegation layer: pinning the
+    // common-single-word profile makes the adaptive arbiter a naive one,
+    // and the multi-winner schedules of naive writes are found as usual.
+    let make = || {
+        SingleRoundWinner::new(
+            "adaptive-pinned-naive",
+            AdaptiveArbiter::with_profile(1, WriteProfile::CommonSingleWord),
+            THREADS,
+            Round::FIRST,
+        )
+    };
+    let report = explore_exhaustive(make, &opts());
+    let v = assert_violation_found_and_replayable(report.violation, make, "winner");
+    assert_eq!(v.model, "adaptive-pinned-naive");
+}

@@ -1,0 +1,150 @@
+//! Property tests for the adaptive arbitration policy: the pure
+//! hysteresis state machine (`pram_core::AdaptivePolicy`) under arbitrary
+//! telemetry-delta sequences.
+//!
+//! Three families of properties:
+//!
+//! * **Determinism** — the policy is a pure function of its observation
+//!   sequence: replaying the same deltas reproduces the same decisions
+//!   and the same observable state, and feeding the equivalent
+//!   *cumulative* totals through `observe_totals` agrees with feeding the
+//!   deltas through `observe_delta`.
+//! * **Bounded, spaced switching** — hysteresis and cooldown make
+//!   flip-flopping impossible: consecutive switches are at least
+//!   `HYSTERESIS_EPOCHS + COOLDOWN_EPOCHS` epochs apart, and the switch
+//!   count never exceeds
+//!   `(epochs + COOLDOWN_EPOCHS) / (HYSTERESIS_EPOCHS + COOLDOWN_EPOCHS)`.
+//! * **Pinned profiles** — a pinned `WriteProfile` is never overridden:
+//!   no telemetry sequence moves the delegate or produces a decision.
+
+use pram_core::adaptive::{COOLDOWN_EPOCHS, HYSTERESIS_EPOCHS};
+use pram_core::{AdaptivePolicy, CwCounters, Delegate, SwitchDecision, WriteProfile};
+use proptest::prelude::*;
+
+/// An arbitrary (but internally consistent) one-epoch counter delta:
+/// failures never exceed attempts, wins never exceed resolutions.
+fn delta_strategy() -> impl Strategy<Value = CwCounters> {
+    (
+        0u64..3000, // fast_path_skips
+        0u64..3000, // cas_attempts
+        0u64..3000, // cas_failures (clamped below)
+        0u64..3000, // gatekeeper_rmws
+        0u64..50,   // lock_acquisitions
+        0u64..6000, // rearm_resets
+    )
+        .prop_map(|(skips, attempts, failures, rmws, locks, rearms)| {
+            let cas_failures = failures.min(attempts);
+            CwCounters {
+                fast_path_skips: skips,
+                cas_attempts: attempts,
+                cas_failures,
+                wins: attempts - cas_failures + rmws.min(1),
+                gatekeeper_rmws: rmws,
+                lock_acquisitions: locks,
+                rearm_resets: rearms,
+            }
+        })
+}
+
+fn run_policy(
+    profile: WriteProfile,
+    deltas: &[CwCounters],
+    cells: usize,
+) -> (AdaptivePolicy, Vec<SwitchDecision>) {
+    let mut policy = AdaptivePolicy::new(profile);
+    let decisions = deltas
+        .iter()
+        .filter_map(|d| policy.observe_delta(d, cells))
+        .collect();
+    (policy, decisions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn policy_is_deterministic_for_any_delta_sequence(
+        deltas in proptest::collection::vec(delta_strategy(), 0..40),
+        cells in 1usize..5000,
+    ) {
+        let (p1, d1) = run_policy(WriteProfile::Auto, &deltas, cells);
+        let (p2, d2) = run_policy(WriteProfile::Auto, &deltas, cells);
+        prop_assert_eq!(d1, d2, "same inputs, different decisions");
+        prop_assert_eq!(p1, p2, "same inputs, different final state");
+    }
+
+    #[test]
+    fn totals_and_deltas_agree(
+        deltas in proptest::collection::vec(delta_strategy(), 0..40),
+        cells in 1usize..5000,
+    ) {
+        // The pool hands the policy cumulative totals; summing the deltas
+        // and differencing internally must reproduce the delta-fed run.
+        let (by_delta, decisions_delta) = run_policy(WriteProfile::Auto, &deltas, cells);
+        let mut by_total = AdaptivePolicy::new(WriteProfile::Auto);
+        let mut totals = CwCounters::default();
+        let mut decisions_total = Vec::new();
+        for d in &deltas {
+            totals.add(d);
+            decisions_total.extend(by_total.observe_totals(&totals, cells));
+        }
+        prop_assert_eq!(decisions_delta, decisions_total);
+        prop_assert_eq!(by_delta.current(), by_total.current());
+        prop_assert_eq!(by_delta.switches(), by_total.switches());
+        prop_assert_eq!(by_delta.epochs(), by_total.epochs());
+    }
+
+    #[test]
+    fn switches_are_bounded_and_spaced(
+        deltas in proptest::collection::vec(delta_strategy(), 0..60),
+        cells in 1usize..5000,
+    ) {
+        let (policy, decisions) = run_policy(WriteProfile::Auto, &deltas, cells);
+        let epochs = deltas.len() as u32;
+        prop_assert_eq!(policy.epochs(), epochs);
+        prop_assert_eq!(policy.switches(), decisions.len() as u32);
+        // The hysteresis + cooldown bound from the decision-table docs.
+        let spacing = HYSTERESIS_EPOCHS + COOLDOWN_EPOCHS;
+        prop_assert!(
+            policy.switches() <= (epochs + COOLDOWN_EPOCHS) / spacing,
+            "{} switches in {} epochs beats the hysteresis bound",
+            policy.switches(),
+            epochs
+        );
+        for pair in decisions.windows(2) {
+            prop_assert!(
+                pair[1].epoch - pair[0].epoch >= spacing,
+                "flip-flop: switches at epochs {} and {} (< {spacing} apart)",
+                pair[0].epoch,
+                pair[1].epoch
+            );
+        }
+        // Decisions are committed in epoch order, each a real move.
+        for d in &decisions {
+            prop_assert!(d.epoch >= HYSTERESIS_EPOCHS && d.epoch <= epochs);
+            prop_assert!(d.from != d.to, "self-switch {d}");
+        }
+        // The unpinned policy only ever selects single-winner delegates.
+        prop_assert!(policy.current() != Delegate::Naive);
+    }
+
+    #[test]
+    fn pinned_profile_is_never_overridden(
+        deltas in proptest::collection::vec(delta_strategy(), 0..60),
+        cells in 1usize..5000,
+    ) {
+        let (policy, decisions) = run_policy(WriteProfile::CommonSingleWord, &deltas, cells);
+        prop_assert!(decisions.is_empty(), "pinned profile emitted {decisions:?}");
+        prop_assert_eq!(policy.current(), Delegate::Naive);
+        prop_assert_eq!(policy.switches(), 0);
+        prop_assert_eq!(policy.epochs(), deltas.len() as u32);
+
+        let (policy, decisions) = run_policy(WriteProfile::ArbitraryMultiWord, &deltas, cells);
+        // ArbitraryMultiWord is a *hint*, not a pin: it starts on CAS-LT
+        // and may move between single-winner delegates, never to naive.
+        prop_assert!(policy.current() != Delegate::Naive);
+        for d in &decisions {
+            prop_assert!(d.to != Delegate::Naive, "hinted profile chose naive: {d}");
+        }
+    }
+}
